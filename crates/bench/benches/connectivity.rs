@@ -1,0 +1,72 @@
+//! Benchmarks component recomputation — the simulator's hot loop — across
+//! the paper's topology range, plus the dirty-flag cache ablation
+//! (DESIGN.md §5: full BFS per event vs lazy recomputation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quorum_graph::{ComponentCache, ComponentView, NetworkState, Topology};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("component_bfs");
+    for chords in [0usize, 16, 256, 4949] {
+        let topo = Topology::ring_with_chords(101, chords);
+        let votes = vec![1u64; 101];
+        let mut state = NetworkState::all_up(&topo);
+        // Degrade ~4% of sites and links, like the steady state.
+        for s in (0..101).step_by(25) {
+            state.set_site(s, false);
+        }
+        for l in (0..topo.num_links()).step_by(25) {
+            state.set_link(l, false);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("chords={chords}")),
+            &chords,
+            |b, _| {
+                b.iter(|| {
+                    let view = ComponentView::compute(&topo, &state, &votes);
+                    black_box(view.votes_of(0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    // Access pattern with 1 topology event per 8 accesses: the cache
+    // should win ~8x over always-recompute.
+    let topo = Topology::ring_with_chords(101, 256);
+    let votes = vec![1u64; 101];
+    let mut group = c.benchmark_group("cache_ablation");
+    group.bench_function("always_recompute", |b| {
+        let state = NetworkState::all_up(&topo);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..64 {
+                let view = ComponentView::compute(&topo, &state, &votes);
+                acc += view.votes_of(i % 101);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("dirty_flag_cache", |b| {
+        let mut state = NetworkState::all_up(&topo);
+        b.iter(|| {
+            let mut cache = ComponentCache::new();
+            let mut acc = 0u64;
+            for i in 0..64usize {
+                if i % 8 == 0 {
+                    state.set_site(i % 101, i % 16 == 0);
+                    cache.invalidate();
+                }
+                acc += cache.view(&topo, &state, &votes).votes_of(i % 101);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_cache_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: counting vs exponentially-decayed `f̂_i` estimators
+//! (DESIGN.md §5) — per-observation cost and model-build cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quorum_core::SiteEstimators;
+use std::hint::black_box;
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_record");
+    group.bench_function("counting", |b| {
+        let mut est = SiteEstimators::counting(101, 101);
+        let mut i = 0usize;
+        b.iter(|| {
+            est.record(i % 101, (i % 102) as u64);
+            i += 1;
+        })
+    });
+    group.bench_function("decayed", |b| {
+        let mut est = SiteEstimators::decayed(101, 101, 0.999);
+        let mut i = 0usize;
+        b.iter(|| {
+            est.record(i % 101, (i % 102) as u64);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut est = SiteEstimators::counting(101, 101);
+    for i in 0..101_000usize {
+        est.record(i % 101, (i % 102) as u64);
+    }
+    c.bench_function("estimator_model_build", |b| {
+        b.iter(|| black_box(est.model_uniform()))
+    });
+}
+
+criterion_group!(benches, bench_record, bench_model_build);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Cost of regenerating one paper figure end-to-end at quick scale:
+//! simulate a topology, build the curve family, optimize every α.
+//! One bench per figure (Figures 2–7 → chords 0, 1, 2, 4, 16, 256).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quorum_core::{QuorumSpec, SearchStrategy, VoteAssignment};
+use quorum_des::SimParams;
+use quorum_replica::scenario::{PaperScenario, PAPER_ALPHAS};
+use quorum_replica::{run_static, CurveSet, RunConfig, Workload};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration");
+    group.sample_size(10);
+    for sc in PaperScenario::all().into_iter().filter(|s| s.figure().is_some()) {
+        let topo = sc.topology();
+        let fig = sc.figure().expect("filtered");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("fig{fig}_chords{}", sc.chords)),
+            &sc,
+            |b, _| {
+                b.iter(|| {
+                    let results = run_static(
+                        &topo,
+                        VoteAssignment::uniform(101),
+                        QuorumSpec::from_read_quorum(50, 101).unwrap(),
+                        Workload::uniform(101, 0.5),
+                        RunConfig {
+                            params: SimParams {
+                                warmup_accesses: 500,
+                                batch_accesses: 5_000,
+                                min_batches: 2,
+                                max_batches: 2,
+                                ci_half_width: 0.05,
+                                ..SimParams::paper()
+                            },
+                            seed: 1,
+                            threads: 2,
+                        },
+                    );
+                    let curves = CurveSet::from_run(&results);
+                    let opts: Vec<u64> = PAPER_ALPHAS
+                        .iter()
+                        .map(|&a| curves.optimal(a, SearchStrategy::EndpointGolden).spec.q_r())
+                        .collect();
+                    black_box(opts)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

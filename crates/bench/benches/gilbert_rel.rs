@@ -1,0 +1,30 @@
+//! Benchmarks the Gilbert `Rel(m, r)` recursion and the full closed-form
+//! densities of §4.2 — the costs an off-line (analytic) optimizer pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quorum_core::analytic::{fully_connected_density, gilbert_rel, ring_density};
+use std::hint::black_box;
+
+fn bench_rel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gilbert_rel");
+    for m in [10usize, 50, 101, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(gilbert_rel(m, 0.96)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_densities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_density");
+    group.bench_function("ring_101", |b| {
+        b.iter(|| black_box(ring_density(101, 0.96, 0.96)))
+    });
+    group.bench_function("fully_connected_101", |b| {
+        b.iter(|| black_box(fully_connected_density(101, 0.96, 0.96)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rel, bench_densities);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: exhaustive argmax vs the §4.1 endpoint-aware golden-section
+//! search, on paper-shaped availability models (T = 101 and a larger
+//! synthetic T to expose the asymptotic gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quorum_core::analytic::{fully_connected_density, ring_density};
+use quorum_core::optimal::optimal_quorum;
+use quorum_core::{AvailabilityModel, SearchStrategy};
+use quorum_stats::DiscreteDist;
+use std::hint::black_box;
+
+fn models() -> Vec<(&'static str, AvailabilityModel)> {
+    let ring = ring_density(101, 0.96, 0.96);
+    let fc = fully_connected_density(101, 0.96, 0.96);
+    // Synthetic T = 4001 unimodal model: golden section shines when the
+    // domain is large.
+    let big = {
+        let n = 4001usize;
+        let pmf: Vec<f64> = (0..=n)
+            .map(|v| {
+                let x = v as f64 / n as f64;
+                (-((x - 0.8) * 14.0).powi(2)).exp()
+            })
+            .collect();
+        DiscreteDist::from_pmf(pmf).normalized()
+    };
+    vec![
+        ("ring101", AvailabilityModel::from_mixtures(&ring, &ring)),
+        ("fc101", AvailabilityModel::from_mixtures(&fc, &fc)),
+        ("synthetic4001", AvailabilityModel::from_mixtures(&big, &big)),
+    ]
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_quorum");
+    for (name, model) in models() {
+        for (label, strat) in [
+            ("exhaustive", SearchStrategy::Exhaustive),
+            ("endpoint_golden", SearchStrategy::EndpointGolden),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &model,
+                |b, m| {
+                    b.iter(|| black_box(optimal_quorum(m, 0.75, strat)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Command-line optimal-quorum planner — the Figure-1 algorithm as a tool.
+//!
+//! Feed it a component-vote histogram (one count per line, for v = 0..=T,
+//! e.g. exported from a production system's monitoring) or ask for an
+//! analytic model, and it prints the optimal assignment across read
+//! ratios, with optional write floor.
+//!
+//! Usage:
+//!   cargo run -p quorum-bench --release --bin optimize -- --hist counts.txt
+//!   cargo run -p quorum-bench --release --bin optimize -- \
+//!       --model ring --sites 21 --site-rel 0.95 --link-rel 0.99 --floor 0.2
+//!   cargo run -p quorum-bench --release --bin optimize -- --model fc --sites 9
+
+use quorum_bench::{pct, Args};
+use quorum_core::analytic::{
+    bus_density_sites_fail, bus_density_sites_independent, fully_connected_density, ring_density,
+};
+use quorum_core::optimal::{optimal_quorum, optimal_with_write_floor};
+use quorum_core::{AvailabilityModel, SearchStrategy};
+use quorum_stats::DiscreteDist;
+
+fn load_histogram(path: &str) -> DiscreteDist {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read histogram {path:?}: {e}"));
+    let counts: Vec<f64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad histogram line {l:?}: {e}"))
+        })
+        .collect();
+    assert!(
+        counts.len() >= 2,
+        "histogram needs at least counts for v = 0 and v = 1"
+    );
+    DiscreteDist::from_pmf(counts).normalized()
+}
+
+fn main() {
+    let args = Args::parse();
+    let density = if let Some(path) = args.get::<String>("hist") {
+        load_histogram(&path)
+    } else {
+        let model: String = args.get_or("model", "ring".to_string());
+        let n: usize = args.get_or("sites", 21);
+        let p: f64 = args.get_or("site-rel", 0.96);
+        let r: f64 = args.get_or("link-rel", 0.96);
+        match model.as_str() {
+            "ring" => ring_density(n, p, r),
+            "fc" | "fully-connected" => fully_connected_density(n, p, r),
+            "bus-fail" => bus_density_sites_fail(n, p, r),
+            "bus-indep" => bus_density_sites_independent(n, p, r),
+            other => panic!("unknown --model {other:?} (ring|fc|bus-fail|bus-indep)"),
+        }
+    };
+    let total = density.max_votes();
+    let model = AvailabilityModel::from_mixtures(&density, &density);
+    let floor: Option<f64> = args.get("floor");
+
+    println!("# optimal quorum assignments | T = {total} votes, mean component = {:.2}", density.mean());
+    match floor {
+        Some(f) => println!("# write floor: A_w >= {}", pct(f)),
+        None => println!("# no write floor (pass --floor 0.2 to add one)"),
+    }
+    println!("alpha\tq_r\tq_w\tA\tR(q_r)\tW(q_w)");
+    for alpha in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let opt = match floor {
+            Some(f) => {
+                match optimal_with_write_floor(&model, alpha, f, SearchStrategy::Exhaustive) {
+                    Some(o) => o,
+                    None => {
+                        println!("{alpha}\t-\t-\tfloor infeasible\t-\t-");
+                        continue;
+                    }
+                }
+            }
+            None => optimal_quorum(&model, alpha, SearchStrategy::Exhaustive),
+        };
+        println!(
+            "{alpha}\t{}\t{}\t{}\t{}\t{}",
+            opt.spec.q_r(),
+            opt.spec.q_w(),
+            pct(opt.availability),
+            pct(opt.read_availability),
+            pct(opt.write_availability),
+        );
+    }
+}

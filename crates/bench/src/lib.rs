@@ -1,0 +1,236 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
+//! recorded outcomes). This library provides the tiny argument parser,
+//! table formatting, the scale presets, and a crossbeam-based parallel
+//! driver for sweeping many simulation configurations with dynamic load
+//! balancing (paper topologies differ by 50× in link count, so static
+//! partitioning wastes workers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use quorum_des::SimParams;
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: Vec<String>,
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument {arg:?}");
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    out.values.insert(name.to_string(), v);
+                }
+                _ => out.flags.push(name.to_string()),
+            }
+        }
+        out
+    }
+
+    /// True if `--name` was passed as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Value of `--name <value>`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{name} {v:?}: {e:?}")))
+    }
+
+    /// Value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.get(name).unwrap_or(default)
+    }
+}
+
+/// Simulation scale preset chosen on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: 30 k-access batches (default).
+    Quick,
+    /// Intermediate: 150 k-access batches.
+    Medium,
+    /// The paper's §5.2 parameters: 100 k warm-up, 1 M-access batches,
+    /// 5–18 batches, CI ±0.5 %.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `--paper-scale` / `--medium-scale` flags.
+    pub fn from_args(args: &Args) -> Self {
+        if args.flag("paper-scale") {
+            Scale::Paper
+        } else if args.flag("medium-scale") {
+            Scale::Medium
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// The corresponding simulation parameters.
+    pub fn params(self) -> SimParams {
+        match self {
+            Scale::Quick => SimParams::quick(),
+            Scale::Medium => SimParams {
+                warmup_accesses: 20_000,
+                batch_accesses: 150_000,
+                min_batches: 4,
+                max_batches: 8,
+                ci_half_width: 0.01,
+                ..SimParams::paper()
+            },
+            Scale::Paper => SimParams::paper(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Runs `jobs` closures across `threads` workers with dynamic (queue-based)
+/// load balancing, returning results in job order.
+///
+/// Uses a crossbeam channel as the work queue: paper topologies range from
+/// 101 to 5050 links, so equal-sized static chunks would leave most
+/// workers idle while one grinds the fully-connected case.
+pub fn run_jobs<T: Send>(
+    threads: usize,
+    jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>>,
+) -> Vec<T> {
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Box<dyn FnOnce() -> T + Send + '_>)>();
+    for (i, j) in jobs.into_iter().enumerate() {
+        tx.send((i, j)).expect("queue open");
+    }
+    drop(tx);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok((i, job)) = rx.recv() {
+                    let out = job();
+                    results.lock()[i] = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every job ran"))
+        .collect()
+}
+
+/// Formats a fraction as the paper prints availabilities (percent).
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Prints a TSV header + rows to stdout.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Default thread count for experiment drivers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parse_flags_and_values() {
+        let a = argv("--topology 16 --paper-scale --seed 42");
+        assert_eq!(a.get::<usize>("topology"), Some(16));
+        assert!(a.flag("paper-scale"));
+        assert!(!a.flag("medium-scale"));
+        assert_eq!(a.get_or::<u64>("seed", 1), 42);
+        assert_eq!(a.get_or::<u64>("missing", 7), 7);
+    }
+
+    #[test]
+    fn scale_selection() {
+        assert_eq!(Scale::from_args(&argv("")), Scale::Quick);
+        assert_eq!(Scale::from_args(&argv("--paper-scale")), Scale::Paper);
+        assert_eq!(Scale::from_args(&argv("--medium-scale")), Scale::Medium);
+        assert_eq!(Scale::Paper.params().batch_accesses, 1_000_000);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_jobs(4, jobs);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_single_thread() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| 2)];
+        assert_eq!(run_jobs(1, jobs), vec![1, 2]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.721), " 72.1%");
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_args_rejected() {
+        argv("topology");
+    }
+}

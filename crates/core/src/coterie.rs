@@ -1,0 +1,401 @@
+//! Coteries (Garcia-Molina & Barbara \[8\]).
+//!
+//! A *coterie* over sites `U = {0..n}` is a set of groups (quorums) that
+//! pairwise intersect and form an antichain (no group contains another).
+//! Coteries generalize vote/quorum assignments: every `(votes, q)` pair
+//! induces the coterie of minimal vote-sets reaching `q`, but some coteries
+//! are not realizable by voting. The related work the paper builds on
+//! (\[7\], \[8\]) searches coterie space exhaustively for ≤ 7 sites; we provide
+//! that machinery for completeness and for cross-checking the quorum layer.
+
+use crate::votes::VoteAssignment;
+use std::fmt;
+
+/// Maximum universe size for the exponential routines.
+const MAX_SITES: usize = 20;
+
+/// Error constructing a coterie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoterieError {
+    /// Two groups fail to intersect.
+    DisjointGroups(Vec<usize>, Vec<usize>),
+    /// One group contains another (violates minimality).
+    NonMinimal(Vec<usize>, Vec<usize>),
+    /// Empty group or empty coterie.
+    Empty,
+    /// Site index out of range.
+    OutOfRange(usize),
+}
+
+impl fmt::Display for CoterieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoterieError::DisjointGroups(a, b) => {
+                write!(f, "groups {a:?} and {b:?} do not intersect")
+            }
+            CoterieError::NonMinimal(a, b) => write!(f, "group {a:?} contains group {b:?}"),
+            CoterieError::Empty => write!(f, "coterie and its groups must be non-empty"),
+            CoterieError::OutOfRange(s) => write!(f, "site {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CoterieError {}
+
+/// A coterie over `0..n`, stored as sorted bitmask groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coterie {
+    n: usize,
+    groups: Vec<u32>,
+}
+
+fn mask_to_vec(mask: u32) -> Vec<usize> {
+    (0..32).filter(|b| mask >> b & 1 == 1).collect()
+}
+
+impl Coterie {
+    /// Builds and validates a coterie from explicit site groups.
+    pub fn new(n: usize, groups: &[Vec<usize>]) -> Result<Self, CoterieError> {
+        assert!(n > 0 && n <= MAX_SITES, "1..={MAX_SITES} sites supported");
+        if groups.is_empty() {
+            return Err(CoterieError::Empty);
+        }
+        let mut masks = Vec::with_capacity(groups.len());
+        for g in groups {
+            if g.is_empty() {
+                return Err(CoterieError::Empty);
+            }
+            let mut m = 0u32;
+            for &s in g {
+                if s >= n {
+                    return Err(CoterieError::OutOfRange(s));
+                }
+                m |= 1 << s;
+            }
+            masks.push(m);
+        }
+        masks.sort_unstable();
+        masks.dedup();
+        for i in 0..masks.len() {
+            for j in i + 1..masks.len() {
+                if masks[i] & masks[j] == 0 {
+                    return Err(CoterieError::DisjointGroups(
+                        mask_to_vec(masks[i]),
+                        mask_to_vec(masks[j]),
+                    ));
+                }
+                if masks[i] & masks[j] == masks[i] {
+                    return Err(CoterieError::NonMinimal(
+                        mask_to_vec(masks[j]),
+                        mask_to_vec(masks[i]),
+                    ));
+                }
+                if masks[i] & masks[j] == masks[j] {
+                    return Err(CoterieError::NonMinimal(
+                        mask_to_vec(masks[i]),
+                        mask_to_vec(masks[j]),
+                    ));
+                }
+            }
+        }
+        Ok(Self { n, groups: masks })
+    }
+
+    /// The majority coterie: all `⌈(n+1)/2⌉`-subsets (requires odd `n` for
+    /// the classic antichain; even `n` uses `n/2 + 1`-subsets).
+    pub fn majority(n: usize) -> Self {
+        let k = n / 2 + 1;
+        let mut groups = Vec::new();
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() as usize == k {
+                groups.push(mask_to_vec(mask));
+            }
+        }
+        Self::new(n, &groups).expect("majority coterie is valid")
+    }
+
+    /// The singleton (primary-site) coterie `{{primary}}`.
+    pub fn primary(n: usize, primary: usize) -> Self {
+        Self::new(n, &[vec![primary]]).expect("singleton coterie is valid")
+    }
+
+    /// Derives the coterie induced by a vote assignment and (write) quorum:
+    /// the minimal site-sets whose votes reach `quorum`.
+    ///
+    /// Requires `2·quorum > total` so the result pairwise-intersects.
+    ///
+    /// # Panics
+    /// Panics if the intersection precondition fails or `n > 20`.
+    pub fn from_votes(votes: &VoteAssignment, quorum: u64) -> Self {
+        let n = votes.num_sites();
+        assert!(n <= MAX_SITES, "exponential enumeration capped at {MAX_SITES} sites");
+        assert!(
+            2 * quorum > votes.total(),
+            "need 2·quorum > T for pairwise intersection"
+        );
+        let mut reaching: Vec<u32> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let sum: u64 = (0..n)
+                .filter(|&s| mask >> s & 1 == 1)
+                .map(|s| votes.votes_of(s))
+                .sum();
+            if sum >= quorum {
+                reaching.push(mask);
+            }
+        }
+        // Keep minimal masks only.
+        let mut minimal: Vec<u32> = Vec::new();
+        for &m in &reaching {
+            if !reaching.iter().any(|&o| o != m && o & m == o) {
+                minimal.push(m);
+            }
+        }
+        let groups: Vec<Vec<usize>> = minimal.iter().map(|&m| mask_to_vec(m)).collect();
+        Self::new(n, &groups).expect("vote-derived coterie is valid")
+    }
+
+    /// Universe size.
+    pub fn num_sites(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Groups as site lists.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        self.groups.iter().map(|&m| mask_to_vec(m)).collect()
+    }
+
+    /// True if the up-site set `alive` contains some group (i.e. a
+    /// distinguished component exists within `alive`).
+    // clippy::manual_contains misfires on `any(|&g| g & mask == g)` — the
+    // closure variable appears on both sides, so `contains` cannot apply.
+    #[allow(clippy::manual_contains)]
+    pub fn contains_quorum(&self, alive: &[usize]) -> bool {
+        let mut mask = 0u32;
+        for &s in alive {
+            assert!(s < self.n, "site {s} out of range");
+            mask |= 1 << s;
+        }
+        self.groups.iter().any(|&g| g & mask == g)
+    }
+
+    /// True if `self` dominates `other`: they differ and every group of
+    /// `other` contains some group of `self` (so `self` grants access in
+    /// every state `other` does, and more).
+    #[allow(clippy::manual_contains)] // see contains_quorum
+    pub fn dominates(&self, other: &Coterie) -> bool {
+        assert_eq!(self.n, other.n, "coteries over different universes");
+        self != other
+            && other
+                .groups
+                .iter()
+                .all(|&og| self.groups.iter().any(|&sg| og & sg == sg))
+    }
+
+    /// True if some coterie dominates `self`.
+    ///
+    /// Uses the Garcia-Molina–Barbara witness characterization: `self` is
+    /// dominated iff some site-set intersects every group yet contains no
+    /// group. Exponential in `n` (fine for `n ≤ 20`).
+    #[allow(clippy::manual_contains)] // see contains_quorum
+    pub fn is_dominated(&self) -> bool {
+        for mask in 1u32..(1 << self.n) {
+            let intersects_all = self.groups.iter().all(|&g| g & mask != 0);
+            let contains_none = !self.groups.iter().any(|&g| g & mask == g);
+            if intersects_all && contains_none {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Enumerates every coterie over `0..n` (exponential; practical for
+    /// `n <= 4`, mirroring the ≤ 7-site exhaustive searches of \[7\]).
+    pub fn enumerate_all(n: usize) -> Vec<Coterie> {
+        assert!((1..=5).contains(&n), "enumeration practical only for n <= 5");
+        let all_masks: Vec<u32> = (1u32..(1 << n)).collect();
+        let mut out = Vec::new();
+        let mut current: Vec<u32> = Vec::new();
+        fn dfs(
+            start: usize,
+            all: &[u32],
+            current: &mut Vec<u32>,
+            out: &mut Vec<Vec<u32>>,
+        ) {
+            if !current.is_empty() {
+                out.push(current.clone());
+            }
+            for i in start..all.len() {
+                let cand = all[i];
+                let ok = current.iter().all(|&g| {
+                    g & cand != 0 && g & cand != g && g & cand != cand
+                });
+                if ok {
+                    current.push(cand);
+                    dfs(i + 1, all, current, out);
+                    current.pop();
+                }
+            }
+        }
+        let mut families = Vec::new();
+        dfs(0, &all_masks, &mut current, &mut families);
+        for f in families {
+            out.push(Coterie {
+                n,
+                groups: {
+                    let mut g = f;
+                    g.sort_unstable();
+                    g
+                },
+            });
+        }
+        out
+    }
+
+    /// Enumerates only the non-dominated coteries over `0..n`.
+    pub fn enumerate_non_dominated(n: usize) -> Vec<Coterie> {
+        Self::enumerate_all(n)
+            .into_iter()
+            .filter(|c| !c.is_dominated())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_coterie_three_sites() {
+        let c = Coterie::majority(3);
+        assert_eq!(c.num_groups(), 3); // {01, 02, 12}
+        assert!(!c.is_dominated());
+        assert!(c.contains_quorum(&[0, 1]));
+        assert!(!c.contains_quorum(&[2]));
+    }
+
+    #[test]
+    fn primary_coterie() {
+        let c = Coterie::primary(4, 2);
+        assert_eq!(c.num_groups(), 1);
+        assert!(c.contains_quorum(&[2]));
+        assert!(!c.contains_quorum(&[0, 1, 3]));
+        assert!(!c.is_dominated(), "singleton coterie is non-dominated");
+    }
+
+    #[test]
+    fn disjoint_groups_rejected() {
+        let e = Coterie::new(4, &[vec![0, 1], vec![2, 3]]).unwrap_err();
+        assert!(matches!(e, CoterieError::DisjointGroups(..)));
+    }
+
+    #[test]
+    fn non_minimal_rejected() {
+        let e = Coterie::new(3, &[vec![0], vec![0, 1]]).unwrap_err();
+        assert!(matches!(e, CoterieError::NonMinimal(..)));
+    }
+
+    #[test]
+    fn from_uniform_votes_majority_quorum() {
+        let votes = VoteAssignment::uniform(5);
+        let c = Coterie::from_votes(&votes, 3);
+        // All 3-subsets of 5 sites: C(5,3) = 10 groups.
+        assert_eq!(c.num_groups(), 10);
+        assert_eq!(c, Coterie::majority(5));
+    }
+
+    #[test]
+    fn from_weighted_votes() {
+        // Votes (2,1,1), T = 4, q = 3: minimal sets {0,1}, {0,2}, {1,2}? —
+        // {1,2} has 2 votes < 3, so groups are {0,1}, {0,2} only... but
+        // those intersect in 0, and {0,1,2}\{0} can't reach 3. Check.
+        let votes = VoteAssignment::weighted(vec![2, 1, 1]);
+        let c = Coterie::from_votes(&votes, 3);
+        assert_eq!(c.groups(), vec![vec![0, 1], vec![0, 2]]);
+        // Site 0 is a "king": this coterie is dominated by primary(0).
+        assert!(Coterie::primary(3, 0).dominates(&c));
+        assert!(c.is_dominated());
+    }
+
+    #[test]
+    fn domination_is_irreflexive() {
+        let c = Coterie::majority(3);
+        assert!(!c.dominates(&c.clone()));
+    }
+
+    #[test]
+    fn majority_is_non_dominated_small_n() {
+        for n in [1usize, 3, 5] {
+            assert!(!Coterie::majority(n).is_dominated(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn even_majority_is_dominated() {
+        // For even n, the (n/2+1)-majority coterie is dominated (classic
+        // result — adding a tie-breaking site produces a better coterie).
+        assert!(Coterie::majority(4).is_dominated());
+    }
+
+    #[test]
+    fn enumerate_n1_and_n2() {
+        let c1 = Coterie::enumerate_all(1);
+        assert_eq!(c1.len(), 1); // {{0}}
+        let c2 = Coterie::enumerate_all(2);
+        // {{0}}, {{1}}, {{01}}, {{0},{... }} — {0} and {1} disjoint, so
+        // coteries over 2 sites: {{0}}, {{1}}, {{0,1}}.
+        assert_eq!(c2.len(), 3);
+        let nd2 = Coterie::enumerate_non_dominated(2);
+        // {{0,1}} is dominated by {{0}} (and {{1}}).
+        assert_eq!(nd2.len(), 2);
+    }
+
+    #[test]
+    fn enumerate_n3_counts() {
+        let all = Coterie::enumerate_all(3);
+        // Every enumerated family satisfies the axioms by construction;
+        // spot-check validity and that majority(3) is found.
+        assert!(all.contains(&Coterie::majority(3)));
+        for c in &all {
+            let groups = c.groups();
+            assert!(Coterie::new(3, &groups).is_ok());
+        }
+        let nd = Coterie::enumerate_non_dominated(3);
+        // Non-dominated coteries correspond to non-constant self-dual
+        // monotone boolean functions; on 3 variables there are exactly 4
+        // (the three dictators and majority). Verify the count and that
+        // every ND coterie is undominated by any enumerated coterie.
+        for c in &nd {
+            for other in &all {
+                assert!(!other.dominates(c), "{other:?} dominates {c:?}");
+            }
+        }
+        assert_eq!(nd.len(), 4);
+    }
+
+    #[test]
+    fn dominated_coterie_has_witness_dominator() {
+        let all = Coterie::enumerate_all(3);
+        for c in &all {
+            if c.is_dominated() {
+                assert!(
+                    all.iter().any(|o| o.dominates(c)),
+                    "dominated {c:?} lacks dominator in enumeration"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contains_quorum_requires_full_group() {
+        let c = Coterie::majority(5);
+        assert!(c.contains_quorum(&[0, 2, 4]));
+        assert!(!c.contains_quorum(&[0, 2]));
+        assert!(!c.contains_quorum(&[]));
+    }
+}

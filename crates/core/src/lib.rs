@@ -1,0 +1,86 @@
+//! The Johnson–Raab optimal quorum assignment machinery.
+//!
+//! This crate implements the primary contribution of *Finding Optimal
+//! Quorum Assignments for Distributed Databases* (Johnson & Raab, Dartmouth
+//! PCS-TR90-158 / ICPP 1991) together with the protocol substrate it rests
+//! on:
+//!
+//! * [`votes`] / [`quorum`] — Gifford's weighted-voting model: vote
+//!   assignments, read/write quorums `q_r`, `q_w`, and the two consistency
+//!   conditions `q_r + q_w > T` and `q_w > T/2` (§2.1).
+//! * [`protocol`] — the quorum consensus protocol and its named special
+//!   cases: majority consensus, read-one/write-all, primary copy.
+//! * [`coterie`] / [`bicoterie`] — the more general (read/write) coterie
+//!   formalism of Garcia-Molina & Barbara used by the related work the
+//!   paper positions against, including a coterie-driven
+//!   [`protocol::ConsistencyProtocol`].
+//! * [`reassign`] — the dynamic quorum reassignment (QR) protocol of §2.2:
+//!   version-numbered assignments installable only in a component holding a
+//!   write quorum under the *old* assignment.
+//! * [`availability`] / [`optimal`] — the Figure-1 algorithm: build
+//!   `r(v)`, `w(v)` from per-site densities `f_i(v)`, evaluate
+//!   `A(α, q_r)`, and maximize over `q_r` (exhaustively, or with the
+//!   endpoint-aware golden-section search §4.1 suggests), including the
+//!   §5.4 write-floor and write-weight variants.
+//! * [`analytic`] — closed-form `f_i(v)` for ring, fully-connected
+//!   (Gilbert's `Rel(m, r)` recursion) and single-bus networks (§4.2).
+//! * [`estimator`] — the on-line `f_i` approximation that sidesteps the
+//!   #P-completeness of exact computation (§4.2).
+//! * [`metrics`] — the ACC and SURV availability metrics (§3).
+//! * [`nonpartition`] — the Ahamad–Ammar non-partitionable model \[1\] and
+//!   Cheung–Ahamad–Ammar joint vote/quorum optimization \[7\] the paper
+//!   positions against (§1), with exact DP availability.
+//! * [`dynamic_voting`] — Jajodia–Mutchler dynamic voting \[12, 13\], the
+//!   electorate-shrinking dynamic protocol family the paper contrasts its
+//!   quorum-reassignment approach with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod availability;
+pub mod bicoterie;
+pub mod coterie;
+pub mod dynamic_voting;
+pub mod estimator;
+pub mod metrics;
+pub mod nonpartition;
+pub mod optimal;
+pub mod protocol;
+pub mod quorum;
+pub mod reassign;
+pub mod votes;
+
+/// One-line import for the common workflow: build a model, optimize,
+/// run a protocol.
+///
+/// ```
+/// use quorum_core::prelude::*;
+///
+/// let f = analytic::ring_density(9, 0.95, 0.95);
+/// let model = AvailabilityModel::from_mixtures(&f, &f);
+/// let opt = optimal_quorum(&model, 0.8, SearchStrategy::EndpointGolden);
+/// assert!(opt.spec.q_r() >= 1 && opt.spec.q_w() <= 9);
+/// ```
+pub mod prelude {
+    pub use crate::analytic;
+    pub use crate::availability::AvailabilityModel;
+    pub use crate::metrics::AvailabilityMetric;
+    pub use crate::optimal::{optimal_quorum, optimal_with_write_floor, SearchStrategy};
+    pub use crate::protocol::{Access, ConsistencyProtocol, Decision, QuorumConsensus};
+    pub use crate::quorum::{QuorumError, QuorumSpec};
+    pub use crate::reassign::QrProtocol;
+    pub use crate::votes::VoteAssignment;
+}
+
+pub use availability::AvailabilityModel;
+pub use bicoterie::{CoterieProtocol, ReadWriteCoterie};
+pub use coterie::Coterie;
+pub use dynamic_voting::DynamicVoting;
+pub use estimator::SiteEstimators;
+pub use metrics::AvailabilityMetric;
+pub use optimal::{OptimalAssignment, SearchStrategy};
+pub use protocol::{Access, QuorumConsensus};
+pub use quorum::{QuorumError, QuorumSpec};
+pub use reassign::QrProtocol;
+pub use votes::VoteAssignment;

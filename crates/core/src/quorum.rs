@@ -1,0 +1,316 @@
+//! Read/write quorum specifications and the §2.1 consistency conditions.
+
+use std::fmt;
+
+/// Why a quorum specification is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumError {
+    /// `q_r + q_w <= T`: a read could miss the most recent write.
+    ReadWriteIntersection {
+        /// Offending read quorum.
+        q_r: u64,
+        /// Offending write quorum.
+        q_w: u64,
+        /// Total votes.
+        total: u64,
+    },
+    /// `2·q_w <= T`: two disjoint write quorums could exist.
+    WriteWriteIntersection {
+        /// Offending write quorum.
+        q_w: u64,
+        /// Total votes.
+        total: u64,
+    },
+    /// A quorum of zero or exceeding the total.
+    OutOfRange {
+        /// The offending value.
+        value: u64,
+        /// Total votes.
+        total: u64,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QuorumError::ReadWriteIntersection { q_r, q_w, total } => write!(
+                f,
+                "q_r + q_w must exceed T: {q_r} + {q_w} <= {total} (condition 1, §2.1)"
+            ),
+            QuorumError::WriteWriteIntersection { q_w, total } => write!(
+                f,
+                "q_w must exceed T/2: 2·{q_w} <= {total} (condition 2, §2.1)"
+            ),
+            QuorumError::OutOfRange { value, total } => {
+                write!(f, "quorum {value} outside 1..={total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+/// A validated `(q_r, q_w)` pair for a system with `T` total votes.
+///
+/// Invariants (conditions 1 and 2 of §2.1):
+/// 1. `q_r + q_w > T` — every read intersects the most recent write;
+/// 2. `q_w > T/2` — writes mutually intersect (no simultaneous writes).
+///
+/// # Examples
+/// ```
+/// use quorum_core::QuorumSpec;
+///
+/// // The paper's parameterization: pick q_r, get q_w = T − q_r + 1.
+/// let spec = QuorumSpec::from_read_quorum(10, 101).unwrap();
+/// assert_eq!(spec.q_w(), 92);
+/// assert!(spec.read_granted(10));
+/// assert!(!spec.write_granted(91));
+///
+/// // Violating condition 1 is rejected at construction.
+/// assert!(QuorumSpec::new(3, 7, 10).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuorumSpec {
+    q_r: u64,
+    q_w: u64,
+    total: u64,
+}
+
+impl QuorumSpec {
+    /// Validates an explicit `(q_r, q_w)` pair.
+    pub fn new(q_r: u64, q_w: u64, total: u64) -> Result<Self, QuorumError> {
+        if q_r == 0 || q_r > total {
+            return Err(QuorumError::OutOfRange {
+                value: q_r,
+                total,
+            });
+        }
+        if q_w == 0 || q_w > total {
+            return Err(QuorumError::OutOfRange {
+                value: q_w,
+                total,
+            });
+        }
+        if q_r + q_w <= total {
+            return Err(QuorumError::ReadWriteIntersection { q_r, q_w, total });
+        }
+        if 2 * q_w <= total {
+            return Err(QuorumError::WriteWriteIntersection { q_w, total });
+        }
+        Ok(Self { q_r, q_w, total })
+    }
+
+    /// The paper's primary parameterization: choose `q_r` and take the
+    /// loosest legal write quorum `q_w = T − q_r + 1` (condition 1 tight).
+    ///
+    /// Valid for `1 <= q_r <= ⌊T/2⌋` (larger `q_r` would be "unnecessarily
+    /// restrictive", §2.1) — except `T = 1`, where `q_r = q_w = 1` is the
+    /// only assignment.
+    pub fn from_read_quorum(q_r: u64, total: u64) -> Result<Self, QuorumError> {
+        if total == 1 {
+            return Self::new(1, 1, 1);
+        }
+        if q_r == 0 || q_r > total / 2 {
+            return Err(QuorumError::OutOfRange {
+                value: q_r,
+                total,
+            });
+        }
+        Self::new(q_r, total - q_r + 1, total)
+    }
+
+    /// Majority consensus [Thomas 79]: `q_w = ⌊T/2⌋ + 1` with the loosest
+    /// legal read quorum `q_r = T − q_w + 1`.
+    ///
+    /// The paper describes majority as `(⌊T/2⌋, ⌊T/2⌋+1)`, but for odd `T`
+    /// that pair sums to exactly `T`, violating strict condition 1 (a
+    /// 50-vote read set and a 51-vote write set can be disjoint when
+    /// `T = 101`). We therefore use the closest valid pair: for even `T`
+    /// this is exactly the paper's `(T/2, T/2+1)`; for odd `T` it is
+    /// `((T+1)/2, (T+1)/2)` — Thomas's original all-accesses-need-majority
+    /// protocol.
+    pub fn majority(total: u64) -> Self {
+        if total == 1 {
+            return Self {
+                q_r: 1,
+                q_w: 1,
+                total,
+            };
+        }
+        let q_w = total / 2 + 1;
+        Self::new(total - q_w + 1, q_w, total).expect("majority is always valid")
+    }
+
+    /// Read-one/write-all: `q_r = 1`, `q_w = T`.
+    pub fn read_one_write_all(total: u64) -> Self {
+        Self::new(1, total, total).expect("ROWA is always valid")
+    }
+
+    /// Read quorum.
+    pub fn q_r(&self) -> u64 {
+        self.q_r
+    }
+
+    /// Write quorum.
+    pub fn q_w(&self) -> u64 {
+        self.q_w
+    }
+
+    /// Total votes `T`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// May a read proceed with `votes` collectable?
+    #[inline]
+    pub fn read_granted(&self, votes: u64) -> bool {
+        votes >= self.q_r
+    }
+
+    /// May a write proceed with `votes` collectable?
+    #[inline]
+    pub fn write_granted(&self, votes: u64) -> bool {
+        votes >= self.q_w
+    }
+
+    /// The domain of read quorums the optimizer searches: `1..=⌊T/2⌋`
+    /// (§2.1 justifies the upper cut; `T = 1` degenerates to `{1}`).
+    pub fn read_quorum_domain(total: u64) -> std::ops::RangeInclusive<u64> {
+        if total == 1 {
+            1..=1
+        } else {
+            1..=(total / 2)
+        }
+    }
+}
+
+impl fmt::Display for QuorumSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(q_r={}, q_w={}, T={})", self.q_r, self.q_w, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_specs_accepted() {
+        let s = QuorumSpec::new(3, 8, 10).unwrap();
+        assert_eq!(s.q_r(), 3);
+        assert_eq!(s.q_w(), 8);
+        assert_eq!(s.total(), 10);
+    }
+
+    #[test]
+    fn condition_one_enforced() {
+        // 3 + 7 = 10 <= 10: read may miss latest write.
+        assert_eq!(
+            QuorumSpec::new(3, 7, 10),
+            Err(QuorumError::ReadWriteIntersection {
+                q_r: 3,
+                q_w: 7,
+                total: 10
+            })
+        );
+    }
+
+    #[test]
+    fn condition_two_enforced() {
+        // q_w = 5, T = 10: two disjoint write quorums possible.
+        assert_eq!(
+            QuorumSpec::new(6, 5, 10),
+            Err(QuorumError::WriteWriteIntersection { q_w: 5, total: 10 })
+        );
+    }
+
+    #[test]
+    fn from_read_quorum_tightens_condition_one() {
+        for total in [2u64, 3, 10, 101] {
+            for q_r in 1..=total / 2 {
+                let s = QuorumSpec::from_read_quorum(q_r, total).unwrap();
+                assert_eq!(s.q_r() + s.q_w(), total + 1, "tight condition 1");
+                assert!(2 * s.q_w() > total, "condition 2");
+            }
+        }
+    }
+
+    #[test]
+    fn from_read_quorum_rejects_large_q_r() {
+        assert!(QuorumSpec::from_read_quorum(51, 101).is_err());
+        assert!(QuorumSpec::from_read_quorum(0, 101).is_err());
+        assert!(QuorumSpec::from_read_quorum(50, 101).is_ok());
+    }
+
+    #[test]
+    fn majority_both_parities() {
+        // Odd T: the paper's (⌊T/2⌋, ⌊T/2⌋+1) = (50, 51) sums to exactly
+        // T and is unsafe; the valid majority is (51, 51).
+        let odd = QuorumSpec::majority(101);
+        assert_eq!((odd.q_r(), odd.q_w()), (51, 51));
+        // Even T matches the paper exactly.
+        let even = QuorumSpec::majority(10);
+        assert_eq!((even.q_r(), even.q_w()), (5, 6));
+    }
+
+    #[test]
+    fn paper_majority_pair_is_invalid_for_odd_t() {
+        // Documents the subtlety: disjoint 50- and 51-vote sets exist when
+        // T = 101, so a read could miss the latest write.
+        assert!(QuorumSpec::new(50, 51, 101).is_err());
+        assert!(QuorumSpec::new(51, 51, 101).is_ok());
+    }
+
+    #[test]
+    fn rowa() {
+        let s = QuorumSpec::read_one_write_all(101);
+        assert_eq!((s.q_r(), s.q_w()), (1, 101));
+        assert!(s.read_granted(1));
+        assert!(!s.write_granted(100));
+        assert!(s.write_granted(101));
+    }
+
+    #[test]
+    fn single_vote_system() {
+        let s = QuorumSpec::from_read_quorum(1, 1).unwrap();
+        assert_eq!((s.q_r(), s.q_w()), (1, 1));
+        let m = QuorumSpec::majority(1);
+        assert_eq!((m.q_r(), m.q_w()), (1, 1));
+        assert_eq!(QuorumSpec::read_quorum_domain(1), 1..=1);
+    }
+
+    #[test]
+    fn grant_thresholds() {
+        let s = QuorumSpec::new(4, 8, 10).unwrap();
+        assert!(!s.read_granted(3));
+        assert!(s.read_granted(4));
+        assert!(!s.write_granted(7));
+        assert!(s.write_granted(8));
+    }
+
+    #[test]
+    fn domain_for_101_votes() {
+        let d = QuorumSpec::read_quorum_domain(101);
+        assert_eq!(d, 1..=50);
+    }
+
+    #[test]
+    fn error_display_mentions_condition() {
+        let e = QuorumSpec::new(3, 7, 10).unwrap_err();
+        assert!(e.to_string().contains("condition 1"));
+        let e = QuorumSpec::new(6, 5, 10).unwrap_err();
+        assert!(e.to_string().contains("condition 2"));
+    }
+
+    #[test]
+    fn zero_quorum_rejected() {
+        assert!(matches!(
+            QuorumSpec::new(0, 10, 10),
+            Err(QuorumError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            QuorumSpec::new(1, 11, 10),
+            Err(QuorumError::OutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! The future-event list.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled entry.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in non-decreasing time order; simultaneous events pop in
+/// insertion (FIFO) order, which keeps simulations reproducible across runs
+/// regardless of heap internals.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time (causality).
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, payload }));
+    }
+
+    /// Schedules `payload` at `now + dt`.
+    pub fn schedule_in(&mut self, dt: f64, payload: E) {
+        let t = self.now + dt;
+        self.schedule(t, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(ev) = self.heap.pop()?;
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(2.5));
+        assert_eq!(q.now(), SimTime::new(2.5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(1.5));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(9.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(9.0)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        q.pop();
+        q.schedule(SimTime::new(4.0), ());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Events always pop in non-decreasing time order, with FIFO
+            /// ties, for arbitrary interleavings of schedules and pops.
+            #[test]
+            fn pops_are_monotone_and_fifo(ops in prop::collection::vec((0.0f64..100.0, prop::bool::ANY), 1..200)) {
+                let mut q = EventQueue::new();
+                let mut seq = 0u64;
+                let mut last: Option<(SimTime, u64)> = None;
+                for (dt, do_pop) in ops {
+                    if do_pop {
+                        if let Some((t, s)) = q.pop() {
+                            if let Some((lt, ls)) = last {
+                                prop_assert!(t > lt || (t == lt && s > ls));
+                            }
+                            prop_assert!(t >= SimTime::ZERO);
+                            last = Some((t, s));
+                        }
+                    } else {
+                        q.schedule_in(dt, seq);
+                        seq += 1;
+                    }
+                }
+                // Drain the remainder.
+                while let Some((t, s)) = q.pop() {
+                    if let Some((lt, ls)) = last {
+                        prop_assert!(t > lt || (t == lt && s > ls));
+                    }
+                    last = Some((t, s));
+                }
+                prop_assert!(q.is_empty());
+            }
+        }
+    }
+}

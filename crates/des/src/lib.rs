@@ -1,0 +1,33 @@
+//! Discrete-event simulation engine.
+//!
+//! The paper's evaluation (§5.2) uses a steady-state discrete event
+//! simulator: access submissions are a Poisson process per site with mean
+//! inter-access time `μ_t = 1`; site and link failures/recoveries are
+//! Poisson with mean time-to-failure `μ_f` and mean time-to-repair `μ_r`
+//! chosen so each component is 96 % reliable and the access-to-failure time
+//! ratio is `ρ = μ_t / μ_f = 1/128`. All events are instantaneous.
+//!
+//! This crate supplies the engine pieces:
+//!
+//! * [`SimTime`] — totally-ordered simulation timestamps.
+//! * [`EventQueue`] — a deterministic future-event list (min-heap with FIFO
+//!   tie-breaking).
+//! * [`PoissonProcess`] — exponential inter-arrival sampling.
+//! * [`OnOffProcess`] — the alternating up/down renewal process driving each
+//!   site and link.
+//! * [`SimParams`] — the paper's parameter set with derived `μ_f`, `μ_r`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod failure;
+pub mod params;
+pub mod poisson;
+pub mod time;
+
+pub use event::EventQueue;
+pub use failure::{DurationDist, OnOffProcess};
+pub use params::SimParams;
+pub use poisson::PoissonProcess;
+pub use time::SimTime;

@@ -1,0 +1,109 @@
+//! Simulation timestamps.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp in abstract time units (the paper's unit is the
+/// mean inter-access time `μ_t = 1`).
+///
+/// Wraps `f64` but is totally ordered: construction rejects NaN, so `Ord`
+/// is safe. Event times are non-negative by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp.
+    ///
+    /// # Panics
+    /// Panics if `t` is NaN or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "SimTime cannot be NaN");
+        assert!(t >= 0.0, "SimTime cannot be negative, got {t}");
+        Self(t)
+    }
+
+    /// The raw value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::new(1.0) < SimTime::new(2.0));
+        assert!(SimTime::ZERO <= SimTime::new(0.0));
+        assert_eq!(SimTime::new(3.5).max(SimTime::new(2.0)), SimTime::new(3.5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 2.5;
+        assert_eq!(t.as_f64(), 4.0);
+        assert_eq!(t - SimTime::new(1.0), 3.0);
+        let mut u = SimTime::ZERO;
+        u += 0.25;
+        assert_eq!(u.as_f64(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        SimTime::new(-0.1);
+    }
+}

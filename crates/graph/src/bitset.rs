@@ -1,0 +1,179 @@
+//! A compact fixed-size bit set.
+//!
+//! Site/link up-down state is consulted on every BFS step of component
+//! recomputation — the hottest loop in the simulator — so it lives in a
+//! dense `u64`-word bit set rather than a `Vec<bool>` or hash set.
+
+/// Fixed-capacity bit set backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a set of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a set of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets every bit.
+    pub fn fill(&mut self, value: bool) {
+        let w = if value { u64::MAX } else { 0 };
+        for word in &mut self.words {
+            *word = w;
+        }
+        if value {
+            // Clear the unused tail bits so count_ones stays correct.
+            let tail = self.len % 64;
+            if tail != 0 {
+                if let Some(last) = self.words.last_mut() {
+                    *last &= (1u64 << tail) - 1;
+                }
+            }
+        }
+    }
+
+    /// Iterates over indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.get(0));
+        assert!(!s.get(129));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut s = BitSet::new(100);
+        s.set(0, true);
+        s.set(63, true);
+        s.set(64, true);
+        s.set(99, true);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(99));
+        assert!(!s.get(1) && !s.get(65));
+        assert_eq!(s.count_ones(), 4);
+        s.set(63, false);
+        assert!(!s.get(63));
+        assert_eq!(s.count_ones(), 3);
+    }
+
+    #[test]
+    fn all_set_and_fill() {
+        let s = BitSet::all_set(70);
+        assert_eq!(s.count_ones(), 70);
+        let mut t = BitSet::new(70);
+        t.fill(true);
+        assert_eq!(t, s);
+        t.fill(false);
+        assert_eq!(t.count_ones(), 0);
+    }
+
+    #[test]
+    fn fill_true_does_not_overcount_tail() {
+        let mut s = BitSet::new(65);
+        s.fill(true);
+        assert_eq!(s.count_ones(), 65);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut s = BitSet::new(200);
+        for i in [3, 64, 65, 128, 199] {
+            s.set(i, true);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, vec![3, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        let s = BitSet::new(10);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitSet::new(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitSet::new(8).set(8, true);
+    }
+}

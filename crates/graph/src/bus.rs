@@ -1,0 +1,139 @@
+//! The single-bus architecture of §4.2.
+//!
+//! A bus network has `n` sites attached to one shared medium. When the bus
+//! is up, every operational site is in one component; when it is down, the
+//! paper distinguishes two designs:
+//!
+//! * [`BusFailureMode::SitesFailWithBus`] — "no site can function when the
+//!   bus is inoperative": a bus failure puts every site in a component of
+//!   size zero.
+//! * [`BusFailureMode::SitesIndependent`] — sites survive a bus failure but
+//!   are isolated: each up site forms a singleton component.
+//!
+//! The analytic densities for both designs live in
+//! `quorum_core::analytic::bus`; this type is the simulatable counterpart.
+
+/// How sites behave when the bus fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFailureMode {
+    /// Sites cannot function without the bus.
+    SitesFailWithBus,
+    /// Sites keep running but are isolated (singleton components).
+    SitesIndependent,
+}
+
+/// State of a single-bus network.
+#[derive(Debug, Clone)]
+pub struct BusNetwork {
+    site_up: Vec<bool>,
+    bus_up: bool,
+    mode: BusFailureMode,
+}
+
+impl BusNetwork {
+    /// A fully operational bus network of `n` sites.
+    pub fn new(n: usize, mode: BusFailureMode) -> Self {
+        assert!(n > 0, "bus network needs at least one site");
+        Self {
+            site_up: vec![true; n],
+            bus_up: true,
+            mode,
+        }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.site_up.len()
+    }
+
+    /// Failure-mode variant.
+    pub fn mode(&self) -> BusFailureMode {
+        self.mode
+    }
+
+    /// Sets a site's state.
+    pub fn set_site(&mut self, site: usize, up: bool) {
+        self.site_up[site] = up;
+    }
+
+    /// Sets the bus state.
+    pub fn set_bus(&mut self, up: bool) {
+        self.bus_up = up;
+    }
+
+    /// Is the bus up?
+    pub fn bus_up(&self) -> bool {
+        self.bus_up
+    }
+
+    /// Is `site` operational *as a site* (ignoring the bus)?
+    pub fn site_up(&self, site: usize) -> bool {
+        match self.mode {
+            BusFailureMode::SitesFailWithBus => self.site_up[site] && self.bus_up,
+            BusFailureMode::SitesIndependent => self.site_up[site],
+        }
+    }
+
+    /// Votes in the component containing `site`, weighting each site by
+    /// `votes[site]`; 0 if the site is effectively down.
+    pub fn votes_of(&self, site: usize, votes: &[u64]) -> u64 {
+        assert_eq!(votes.len(), self.site_up.len(), "one vote weight per site");
+        if !self.site_up(site) {
+            return 0;
+        }
+        if self.bus_up {
+            self.site_up
+                .iter()
+                .enumerate()
+                .filter(|&(_, &up)| up)
+                .map(|(s, _)| votes[s])
+                .sum()
+        } else {
+            // SitesIndependent and site is up: isolated singleton.
+            votes[site]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_up_forms_one_component() {
+        let mut b = BusNetwork::new(5, BusFailureMode::SitesIndependent);
+        b.set_site(4, false);
+        let votes = vec![1; 5];
+        assert_eq!(b.votes_of(0, &votes), 4);
+        assert_eq!(b.votes_of(4, &votes), 0);
+    }
+
+    #[test]
+    fn bus_down_independent_sites_are_singletons() {
+        let mut b = BusNetwork::new(4, BusFailureMode::SitesIndependent);
+        b.set_bus(false);
+        let votes = vec![2; 4];
+        for s in 0..4 {
+            assert_eq!(b.votes_of(s, &votes), 2, "site {s} isolated but up");
+        }
+    }
+
+    #[test]
+    fn bus_down_dependent_sites_all_fail() {
+        let mut b = BusNetwork::new(4, BusFailureMode::SitesFailWithBus);
+        b.set_bus(false);
+        let votes = vec![1; 4];
+        for s in 0..4 {
+            assert!(!b.site_up(s));
+            assert_eq!(b.votes_of(s, &votes), 0);
+        }
+        b.set_bus(true);
+        assert_eq!(b.votes_of(0, &votes), 4);
+    }
+
+    #[test]
+    fn weighted_bus_votes() {
+        let b = BusNetwork::new(3, BusFailureMode::SitesIndependent);
+        assert_eq!(b.votes_of(1, &[1, 5, 10]), 16);
+    }
+}

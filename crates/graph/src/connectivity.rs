@@ -1,0 +1,364 @@
+//! Component labelling over the up-subgraph.
+//!
+//! A *component* (paper §2.2) is a maximal set of operational sites that can
+//! communicate through operational links. [`ComponentView`] labels every up
+//! site with a component id and totals the votes per component — precisely
+//! the `v` in the paper's density `f_i(v)`. Down sites are "members of a
+//! component of size zero" (§5.2), represented here by [`ComponentView::DOWN`].
+//!
+//! [`ComponentCache`] adds the dirty-flag memoization used by the
+//! simulator: accesses between two topology events see the same partition,
+//! so the BFS need only rerun when a failure/recovery actually intervened.
+
+use crate::state::NetworkState;
+use crate::topology::Topology;
+
+/// A snapshot of the network's partition into components.
+#[derive(Debug, Clone)]
+pub struct ComponentView {
+    /// Component id per site; [`ComponentView::DOWN`] for down sites.
+    comp_id: Vec<u32>,
+    /// Total votes per component id.
+    comp_votes: Vec<u64>,
+    /// Number of up sites per component id.
+    comp_sizes: Vec<u32>,
+}
+
+impl ComponentView {
+    /// Marker id for non-operational sites.
+    pub const DOWN: u32 = u32::MAX;
+
+    /// Computes the partition of `topology` under `state`, weighting each
+    /// site by `votes[site]`.
+    ///
+    /// # Panics
+    /// Panics if `votes.len()` differs from the site count.
+    pub fn compute(topology: &Topology, state: &NetworkState, votes: &[u64]) -> Self {
+        let n = topology.num_sites();
+        assert_eq!(votes.len(), n, "one vote weight per site");
+        let mut comp_id = vec![Self::DOWN; n];
+        let mut comp_votes = Vec::new();
+        let mut comp_sizes = Vec::new();
+        let mut queue = Vec::with_capacity(n);
+        for start in 0..n {
+            if !state.site_up(start) || comp_id[start] != Self::DOWN {
+                continue;
+            }
+            let id = comp_votes.len() as u32;
+            comp_votes.push(0u64);
+            comp_sizes.push(0u32);
+            comp_id[start] = id;
+            queue.clear();
+            queue.push(start);
+            while let Some(s) = queue.pop() {
+                comp_votes[id as usize] += votes[s];
+                comp_sizes[id as usize] += 1;
+                for &(nb, link) in topology.neighbors(s) {
+                    if state.link_up(link) && state.site_up(nb) && comp_id[nb] == Self::DOWN {
+                        comp_id[nb] = id;
+                        queue.push(nb);
+                    }
+                }
+            }
+        }
+        Self {
+            comp_id,
+            comp_votes,
+            comp_sizes,
+        }
+    }
+
+    /// Component id of `site`, or [`Self::DOWN`].
+    #[inline]
+    pub fn component_of(&self, site: usize) -> u32 {
+        self.comp_id[site]
+    }
+
+    /// Votes reachable from `site` (0 if the site is down — the paper's
+    /// "component of size zero" convention).
+    #[inline]
+    pub fn votes_of(&self, site: usize) -> u64 {
+        match self.comp_id[site] {
+            Self::DOWN => 0,
+            id => self.comp_votes[id as usize],
+        }
+    }
+
+    /// Number of up sites in the component containing `site` (0 if down).
+    #[inline]
+    pub fn size_of(&self, site: usize) -> u32 {
+        match self.comp_id[site] {
+            Self::DOWN => 0,
+            id => self.comp_sizes[id as usize],
+        }
+    }
+
+    /// Number of components (down sites excluded).
+    pub fn num_components(&self) -> usize {
+        self.comp_votes.len()
+    }
+
+    /// Vote totals per component.
+    pub fn component_votes(&self) -> &[u64] {
+        &self.comp_votes
+    }
+
+    /// Maximum votes held by any component (0 if every site is down).
+    ///
+    /// This is the quantity behind the SURV metric (§3, footnote 3).
+    pub fn largest_component_votes(&self) -> u64 {
+        self.comp_votes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True if `a` and `b` are both up and mutually reachable.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.comp_id[a] != Self::DOWN && self.comp_id[a] == self.comp_id[b]
+    }
+
+    /// Member lists of every component, indexed by component id.
+    pub fn all_components(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.comp_votes.len()];
+        for (site, &id) in self.comp_id.iter().enumerate() {
+            if id != Self::DOWN {
+                out[id as usize].push(site);
+            }
+        }
+        out
+    }
+
+    /// Iterates over the up sites in the same component as `site`
+    /// (including `site` itself); empty if `site` is down.
+    pub fn members_of<'a>(&'a self, site: usize) -> impl Iterator<Item = usize> + 'a {
+        let id = self.comp_id[site];
+        self.comp_id
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &c)| id != Self::DOWN && c == id)
+            .map(|(s, _)| s)
+    }
+}
+
+/// Dirty-flag memoization of [`ComponentView`].
+///
+/// The simulator calls [`ComponentCache::invalidate`] on every topology
+/// event and [`ComponentCache::view`] on every access; recomputation only
+/// happens when at least one event separated two accesses.
+#[derive(Debug, Clone)]
+pub struct ComponentCache {
+    view: Option<ComponentView>,
+    recomputations: u64,
+    hits: u64,
+}
+
+impl ComponentCache {
+    /// An empty (dirty) cache.
+    pub fn new() -> Self {
+        Self {
+            view: None,
+            recomputations: 0,
+            hits: 0,
+        }
+    }
+
+    /// Marks the cached view stale.
+    pub fn invalidate(&mut self) {
+        self.view = None;
+    }
+
+    /// Returns the current view, recomputing if stale.
+    pub fn view(
+        &mut self,
+        topology: &Topology,
+        state: &NetworkState,
+        votes: &[u64],
+    ) -> &ComponentView {
+        if self.view.is_none() {
+            self.view = Some(ComponentView::compute(topology, state, votes));
+            self.recomputations += 1;
+        } else {
+            self.hits += 1;
+        }
+        self.view.as_ref().expect("just ensured")
+    }
+
+    /// Number of BFS recomputations performed.
+    pub fn recomputations(&self) -> u64 {
+        self.recomputations
+    }
+
+    /// Number of served-from-cache queries.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+impl Default for ComponentCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_votes(n: usize) -> Vec<u64> {
+        vec![1; n]
+    }
+
+    #[test]
+    fn fully_up_ring_is_one_component() {
+        let t = Topology::ring(7);
+        let s = NetworkState::all_up(&t);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(7));
+        assert_eq!(v.num_components(), 1);
+        assert_eq!(v.votes_of(3), 7);
+        assert_eq!(v.largest_component_votes(), 7);
+        assert!(v.connected(0, 6));
+    }
+
+    #[test]
+    fn down_site_has_zero_votes() {
+        let t = Topology::ring(5);
+        let mut s = NetworkState::all_up(&t);
+        s.set_site(2, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(5));
+        assert_eq!(v.votes_of(2), 0);
+        assert_eq!(v.component_of(2), ComponentView::DOWN);
+        assert_eq!(v.size_of(2), 0);
+        // Remaining 4 sites still connected around the ring.
+        assert_eq!(v.votes_of(0), 4);
+    }
+
+    #[test]
+    fn ring_partitions_with_two_link_failures() {
+        let t = Topology::ring(6); // links (0,1),(1,2),(2,3),(3,4),(4,5),(5,0)
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(0, false); // cut (0,1)
+        s.set_link(3, false); // cut (3,4)
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        assert_eq!(v.num_components(), 2);
+        assert!(v.connected(1, 3));
+        assert!(v.connected(4, 0));
+        assert!(!v.connected(1, 4));
+        assert_eq!(v.votes_of(1), 3); // {1,2,3}
+        assert_eq!(v.votes_of(5), 3); // {4,5,0}
+    }
+
+    #[test]
+    fn single_link_failure_does_not_partition_ring() {
+        let t = Topology::ring(6);
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(2, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        assert_eq!(v.num_components(), 1);
+        assert_eq!(v.votes_of(0), 6);
+    }
+
+    #[test]
+    fn weighted_votes_counted() {
+        let t = Topology::path(3);
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(1, false); // separates {0,1} from {2}
+        let v = ComponentView::compute(&t, &s, &[5, 2, 9]);
+        assert_eq!(v.votes_of(0), 7);
+        assert_eq!(v.votes_of(2), 9);
+        assert_eq!(v.largest_component_votes(), 9);
+    }
+
+    #[test]
+    fn site_failure_partitions_star() {
+        let t = Topology::star(5);
+        let mut s = NetworkState::all_up(&t);
+        s.set_site(0, false); // hub down
+        let v = ComponentView::compute(&t, &s, &uniform_votes(5));
+        assert_eq!(v.num_components(), 4);
+        for site in 1..5 {
+            assert_eq!(v.votes_of(site), 1);
+        }
+    }
+
+    #[test]
+    fn members_of_lists_component() {
+        let t = Topology::ring(6);
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(0, false);
+        s.set_link(3, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        let members: Vec<usize> = v.members_of(2).collect();
+        assert_eq!(members, vec![1, 2, 3]);
+        s.set_site(1, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        assert_eq!(v.members_of(1).count(), 0, "down site has no members");
+    }
+
+    #[test]
+    fn all_components_partitions_up_sites() {
+        let t = Topology::ring(6);
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(0, false);
+        s.set_link(3, false);
+        s.set_site(5, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        let comps = v.all_components();
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "every up site in exactly one");
+        for (id, members) in comps.iter().enumerate() {
+            for &m in members {
+                assert_eq!(v.component_of(m), id as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn all_down_network() {
+        let t = Topology::ring(4);
+        let s = NetworkState::all_down(&t);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(4));
+        assert_eq!(v.num_components(), 0);
+        assert_eq!(v.largest_component_votes(), 0);
+    }
+
+    #[test]
+    fn cache_recomputes_only_when_invalidated() {
+        let t = Topology::ring(5);
+        let mut s = NetworkState::all_up(&t);
+        let votes = uniform_votes(5);
+        let mut cache = ComponentCache::new();
+        assert_eq!(cache.view(&t, &s, &votes).votes_of(0), 5);
+        assert_eq!(cache.view(&t, &s, &votes).votes_of(1), 5);
+        assert_eq!(cache.recomputations(), 1);
+        assert_eq!(cache.hits(), 1);
+
+        s.set_site(0, false);
+        cache.invalidate();
+        assert_eq!(cache.view(&t, &s, &votes).votes_of(1), 4);
+        assert_eq!(cache.recomputations(), 2);
+    }
+
+    #[test]
+    fn view_matches_fresh_compute_after_many_mutations() {
+        let t = Topology::ring_with_chords(21, 8);
+        let mut s = NetworkState::all_up(&t);
+        let votes = uniform_votes(21);
+        let mut cache = ComponentCache::new();
+        for i in 0..10 {
+            s.set_site(i, i % 2 == 0);
+            s.set_link(i, i % 3 != 0);
+            cache.invalidate();
+            let cached: Vec<u64> = (0..21).map(|x| cache.view(&t, &s, &votes).votes_of(x)).collect();
+            let fresh = ComponentView::compute(&t, &s, &votes);
+            let direct: Vec<u64> = (0..21).map(|x| fresh.votes_of(x)).collect();
+            assert_eq!(cached, direct);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one vote weight per site")]
+    fn wrong_vote_len_rejected() {
+        let t = Topology::ring(4);
+        let s = NetworkState::all_up(&t);
+        ComponentView::compute(&t, &s, &[1, 1, 1]);
+    }
+}

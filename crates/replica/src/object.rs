@@ -1,0 +1,201 @@
+//! One-copy serializability checking.
+//!
+//! The whole point of quorum constraints (§2.1) is that "any access to a
+//! data item is aware of the most recent update". This checker tracks which
+//! physical copies hold the current value: a granted write installs a new
+//! version on every copy in its component; a granted read is *correct* iff
+//! its component contains at least one current copy. Valid quorum pairs
+//! (conditions 1–2) guarantee zero violations; the checker exists precisely
+//! so tests can demonstrate both directions.
+
+/// Tracks copy currency and counts 1SR violations.
+#[derive(Debug, Clone)]
+pub struct SerializabilityChecker {
+    /// Monotone version per copy; version 0 = initial value (held by all).
+    copy_version: Vec<u64>,
+    /// Version of the most recent granted write.
+    latest: u64,
+    reads_checked: u64,
+    stale_reads: u64,
+    concurrent_write_epochs: u64,
+}
+
+impl SerializabilityChecker {
+    /// All copies start current (version 0).
+    pub fn new(n_sites: usize) -> Self {
+        Self {
+            copy_version: vec![0; n_sites],
+            latest: 0,
+            reads_checked: 0,
+            stale_reads: 0,
+            concurrent_write_epochs: 0,
+        }
+    }
+
+    /// Records a granted write performed from a component containing
+    /// `members`: all reachable copies receive the new version.
+    ///
+    /// Returns `false` — and counts a *write-write conflict* — when the
+    /// writing component could not see the most recent write (a lost
+    /// update). Condition 2 (`q_w > T/2`) exists precisely to make this
+    /// impossible; condition 1 alone only protects reads.
+    pub fn on_write_granted(&mut self, members: &[usize]) -> bool {
+        let best = members
+            .iter()
+            .map(|&s| self.copy_version[s])
+            .max()
+            .unwrap_or(0);
+        let aware = best == self.latest;
+        if !aware {
+            self.concurrent_write_epochs += 1;
+        }
+        self.latest += 1;
+        for &s in members {
+            self.copy_version[s] = self.latest;
+        }
+        aware
+    }
+
+    /// Records a data refresh within a component: every member adopts the
+    /// newest version any member holds. This models the copy update that
+    /// must accompany a quorum *reassignment* (§2.2): the installing
+    /// component holds a write quorum under the old assignment, and any
+    /// two write quorums intersect (each exceeds T/2), so the component
+    /// always contains a current copy to propagate. Without this refresh
+    /// a subsequent read under a loosened `q_r` can miss the last write —
+    /// see the `adaptive_tracks_reliability_degradation` test.
+    pub fn on_refresh(&mut self, members: &[usize]) {
+        let best = members
+            .iter()
+            .map(|&s| self.copy_version[s])
+            .max()
+            .unwrap_or(0);
+        for &s in members {
+            self.copy_version[s] = best;
+        }
+    }
+
+    /// Records a granted read from a component containing `members`;
+    /// returns `true` if the read saw the most recent write.
+    pub fn on_read_granted(&mut self, members: &[usize]) -> bool {
+        self.reads_checked += 1;
+        let best = members
+            .iter()
+            .map(|&s| self.copy_version[s])
+            .max()
+            .unwrap_or(0);
+        let fresh = best == self.latest;
+        if !fresh {
+            self.stale_reads += 1;
+        }
+        fresh
+    }
+
+    /// Version of the most recent granted write.
+    pub fn latest_version(&self) -> u64 {
+        self.latest
+    }
+
+    /// Granted reads validated so far.
+    pub fn reads_checked(&self) -> u64 {
+        self.reads_checked
+    }
+
+    /// Reads that missed the most recent write (must be 0 under valid
+    /// quorums).
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
+    }
+
+    /// Writes performed without seeing the most recent write — lost
+    /// updates (must be 0 when `q_w > T/2`).
+    pub fn write_conflicts(&self) -> u64 {
+        self.concurrent_write_epochs
+    }
+
+    /// True iff no violation has been observed.
+    pub fn is_one_copy_serializable(&self) -> bool {
+        self.stale_reads == 0 && self.concurrent_write_epochs == 0
+    }
+
+    /// Resets for a fresh batch.
+    pub fn reset(&mut self) {
+        self.copy_version.fill(0);
+        self.latest = 0;
+        self.reads_checked = 0;
+        self.stale_reads = 0;
+        self.concurrent_write_epochs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_in_same_component_is_fresh() {
+        let mut c = SerializabilityChecker::new(5);
+        assert!(c.on_write_granted(&[0, 1, 2]));
+        assert!(c.on_read_granted(&[2, 3]));
+        assert!(c.is_one_copy_serializable());
+    }
+
+    #[test]
+    fn read_in_disjoint_component_is_stale() {
+        let mut c = SerializabilityChecker::new(5);
+        c.on_write_granted(&[0, 1, 2]);
+        assert!(!c.on_read_granted(&[3, 4]), "no current copy reachable");
+        assert_eq!(c.stale_reads(), 1);
+        assert!(!c.is_one_copy_serializable());
+    }
+
+    #[test]
+    fn initial_reads_are_fresh() {
+        let mut c = SerializabilityChecker::new(3);
+        assert!(c.on_read_granted(&[1]));
+        assert_eq!(c.latest_version(), 0);
+    }
+
+    #[test]
+    fn later_write_supersedes() {
+        let mut c = SerializabilityChecker::new(4);
+        assert!(c.on_write_granted(&[0, 1, 2, 3]));
+        assert!(c.on_write_granted(&[0, 1])); // partition shrank, quorum held
+        assert!(c.on_read_granted(&[1, 2]), "copy 1 is current");
+        assert!(!c.on_read_granted(&[2, 3]), "copies 2,3 hold version 1");
+    }
+
+    #[test]
+    fn disjoint_writes_conflict() {
+        // Two writes in disjoint components: the second cannot have seen
+        // the first — a lost update (what condition 2 forbids).
+        let mut c = SerializabilityChecker::new(6);
+        assert!(c.on_write_granted(&[0, 1, 2]));
+        assert!(!c.on_write_granted(&[3, 4, 5]), "blind write");
+        assert_eq!(c.write_conflicts(), 1);
+        assert!(!c.is_one_copy_serializable());
+        // A read that reaches the newest epoch is still "fresh" w.r.t. the
+        // version counter, but the history is already non-serializable.
+        assert!(c.on_read_granted(&[4]));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut c = SerializabilityChecker::new(3);
+        c.on_write_granted(&[0]);
+        c.on_read_granted(&[1]); // stale
+        assert!(!c.is_one_copy_serializable());
+        c.reset();
+        assert!(c.is_one_copy_serializable());
+        assert_eq!(c.latest_version(), 0);
+        assert_eq!(c.reads_checked(), 0);
+    }
+
+    #[test]
+    fn empty_member_read_counts_against_initial_only() {
+        let mut c = SerializabilityChecker::new(3);
+        assert!(c.on_read_granted(&[]), "version 0 everywhere");
+        c.on_write_granted(&[0]);
+        assert!(!c.on_read_granted(&[]));
+    }
+}

@@ -1,0 +1,259 @@
+//! Multi-batch (parallel) runs with batch-means confidence intervals.
+//!
+//! Reproduces the §5.2 methodology: independent batches are added (between
+//! `min_batches` and `max_batches`) until the 95 % confidence interval on
+//! ACC has half-width ≤ 0.5 %. Batches are statistically independent by
+//! construction (disjoint derived seeds, network reset per batch), so they
+//! can run on worker threads; results are merged deterministically by
+//! batch index.
+
+use crate::results::{BatchStats, RunResults};
+use crate::simulation::{NullObserver, Simulation};
+use crate::workload::Workload;
+use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
+use quorum_des::SimParams;
+use quorum_graph::Topology;
+use quorum_stats::BatchMeans;
+
+/// Configuration of a multi-batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Simulation parameters (scale, reliabilities, CI targets).
+    pub params: SimParams,
+    /// Master seed; batch `i` derives seed `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (1 = sequential). Batches beyond `min_batches` are
+    /// added in rounds of `threads` until the CI converges.
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// Quick-scale config for tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            params: SimParams::quick(),
+            seed,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(1),
+        }
+    }
+}
+
+fn run_batch_range(
+    topology: &Topology,
+    votes: &VoteAssignment,
+    spec: QuorumSpec,
+    workload: &Workload,
+    cfg: &RunConfig,
+    indices: &[u64],
+) -> Vec<BatchStats> {
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    let threads = cfg.threads.max(1).min(indices.len());
+    if threads == 1 {
+        return indices
+            .iter()
+            .map(|&i| {
+                let mut sim = Simulation::with_votes(
+                    topology,
+                    cfg.params,
+                    votes.clone(),
+                    workload.clone(),
+                    cfg.seed,
+                );
+                let mut proto = QuorumConsensus::new(votes.clone(), spec);
+                sim.run_indexed_batch(&mut proto, &mut NullObserver, i)
+            })
+            .collect();
+    }
+    // Static round-robin split over scoped worker threads, then reassemble
+    // in index order so results are independent of thread count.
+    let chunks: Vec<Vec<u64>> = (0..threads)
+        .map(|t| {
+            indices
+                .iter()
+                .copied()
+                .skip(t)
+                .step_by(threads)
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let mut tagged: Vec<(u64, BatchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&i| {
+                            let mut sim = Simulation::with_votes(
+                                topology,
+                                cfg.params,
+                                votes.clone(),
+                                workload.clone(),
+                                cfg.seed,
+                            );
+                            let mut proto = QuorumConsensus::new(votes.clone(), spec);
+                            (i, sim.run_indexed_batch(&mut proto, &mut NullObserver, i))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, s)| s).collect()
+}
+
+/// Runs the static quorum consensus protocol until the CI converges.
+///
+/// Returns per-batch means, confidence intervals, and the merged raw
+/// histograms (from which [`crate::curves::CurveSet`] derives the full
+/// availability curves).
+pub fn run_static(
+    topology: &Topology,
+    votes: VoteAssignment,
+    spec: QuorumSpec,
+    workload: Workload,
+    cfg: RunConfig,
+) -> RunResults {
+    cfg.params.validate();
+    let n = topology.num_sites();
+    let total = votes.total() as usize;
+
+    let mut acc = BatchMeans::new(
+        cfg.params.confidence,
+        cfg.params.ci_half_width,
+        cfg.params.min_batches,
+    );
+    let mut read_acc = acc.clone();
+    let mut write_acc = acc.clone();
+    let mut combined = BatchStats::new(n, total);
+    let mut next_index = 0u64;
+
+    while next_index < cfg.params.max_batches {
+        // First round fills min_batches; later rounds add one thread-width
+        // of batches at a time until converged or capped.
+        let goal = if next_index == 0 {
+            cfg.params.min_batches
+        } else {
+            (next_index + cfg.threads.max(1) as u64).min(cfg.params.max_batches)
+        };
+        let indices: Vec<u64> = (next_index..goal).collect();
+        next_index = goal;
+        for stats in run_batch_range(topology, &votes, spec, &workload, &cfg, &indices) {
+            acc.push_batch(stats.availability());
+            read_acc.push_batch(stats.read_availability());
+            write_acc.push_batch(stats.write_availability());
+            combined.merge(&stats);
+        }
+        if acc.is_converged() {
+            break;
+        }
+    }
+
+    RunResults {
+        batches: acc.batches(),
+        acc,
+        read_acc,
+        write_acc,
+        combined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64, threads: usize) -> RunConfig {
+        RunConfig {
+            params: SimParams {
+                warmup_accesses: 300,
+                batch_accesses: 3_000,
+                min_batches: 3,
+                max_batches: 5,
+                ci_half_width: 0.05,
+                ..SimParams::paper()
+            },
+            seed,
+            threads,
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        // Pin the batch count so the convergence loop cannot add batches
+        // in different-sized rounds; per-batch results depend only on
+        // (seed, batch index), so the outcomes must then match exactly.
+        let topo = Topology::ring_with_chords(13, 2);
+        let votes = VoteAssignment::uniform(13);
+        let spec = QuorumSpec::majority(13);
+        let wl = Workload::uniform(13, 0.5);
+        let mut c1 = tiny_cfg(9, 1);
+        c1.params.max_batches = c1.params.min_batches;
+        let mut c4 = tiny_cfg(9, 4);
+        c4.params.max_batches = c4.params.min_batches;
+        let seq = run_static(&topo, votes.clone(), spec, wl.clone(), c1);
+        let par = run_static(&topo, votes, spec, wl, c4);
+        assert_eq!(seq.batches, par.batches);
+        assert_eq!(seq.availability(), par.availability());
+        assert_eq!(
+            seq.combined.reads_granted + seq.combined.writes_granted,
+            par.combined.reads_granted + par.combined.writes_granted
+        );
+    }
+
+    #[test]
+    fn converged_run_reports_interval() {
+        let topo = Topology::ring(9);
+        let res = run_static(
+            &topo,
+            VoteAssignment::uniform(9),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            tiny_cfg(1, 2),
+        );
+        assert!(res.batches >= 3);
+        let ci = res.interval().expect("≥ 2 batches");
+        assert!(ci.half_width >= 0.0);
+        assert!(res.availability() > 0.0 && res.availability() < 1.0);
+        assert!(res.is_one_copy_serializable());
+    }
+
+    #[test]
+    fn stops_at_max_batches_when_noisy() {
+        let topo = Topology::ring(9);
+        let mut cfg = tiny_cfg(2, 2);
+        cfg.params.ci_half_width = 1e-9; // unreachable target
+        let res = run_static(
+            &topo,
+            VoteAssignment::uniform(9),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            cfg,
+        );
+        assert_eq!(res.batches, cfg.params.max_batches);
+    }
+
+    #[test]
+    fn availability_is_mixture_of_read_write() {
+        let topo = Topology::ring_with_chords(13, 4);
+        let res = run_static(
+            &topo,
+            VoteAssignment::uniform(13),
+            QuorumSpec::from_read_quorum(3, 13).unwrap(),
+            Workload::uniform(13, 0.75),
+            tiny_cfg(5, 2),
+        );
+        let c = &res.combined;
+        let mix = c.reads_submitted as f64 / c.submitted() as f64 * c.read_availability()
+            + c.writes_submitted as f64 / c.submitted() as f64 * c.write_availability();
+        assert!((c.availability() - mix).abs() < 1e-12);
+    }
+}
