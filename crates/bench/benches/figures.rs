@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure_regeneration");
     group.sample_size(10);
-    for sc in PaperScenario::all().into_iter().filter(|s| s.figure().is_some()) {
+    for sc in PaperScenario::all()
+        .into_iter()
+        .filter(|s| s.figure().is_some())
+    {
         let topo = sc.topology();
         let fig = sc.figure().expect("filtered");
         group.bench_with_input(

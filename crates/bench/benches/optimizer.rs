@@ -27,7 +27,10 @@ fn models() -> Vec<(&'static str, AvailabilityModel)> {
     vec![
         ("ring101", AvailabilityModel::from_mixtures(&ring, &ring)),
         ("fc101", AvailabilityModel::from_mixtures(&fc, &fc)),
-        ("synthetic4001", AvailabilityModel::from_mixtures(&big, &big)),
+        (
+            "synthetic4001",
+            AvailabilityModel::from_mixtures(&big, &big),
+        ),
     ]
 }
 
@@ -38,13 +41,9 @@ fn bench_strategies(c: &mut Criterion) {
             ("exhaustive", SearchStrategy::Exhaustive),
             ("endpoint_golden", SearchStrategy::EndpointGolden),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &model,
-                |b, m| {
-                    b.iter(|| black_box(optimal_quorum(m, 0.75, strat)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &model, |b, m| {
+                b.iter(|| black_box(optimal_quorum(m, 0.75, strat)))
+            });
         }
     }
     group.finish();

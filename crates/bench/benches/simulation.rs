@@ -25,8 +25,7 @@ fn bench_batches(c: &mut Criterion) {
             |b, _| {
                 let mut batch = 0u64;
                 b.iter(|| {
-                    let mut sim =
-                        Simulation::new(&topo, params, Workload::uniform(101, 0.5), 99);
+                    let mut sim = Simulation::new(&topo, params, Workload::uniform(101, 0.5), 99);
                     let mut proto = QuorumConsensus::new(
                         VoteAssignment::uniform(101),
                         QuorumSpec::from_read_quorum(50, 101).unwrap(),

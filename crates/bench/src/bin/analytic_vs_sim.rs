@@ -41,11 +41,7 @@ fn compare(name: &str, topo: &Topology, analytic: &quorum_stats::DiscreteDist, c
     // Print the head of both densities plus the tail mass.
     let show = 12.min(n);
     for v in 0..=show {
-        println!(
-            "  {v}\t{:.4}\t{:.4}",
-            analytic.pmf(v),
-            empirical.pmf(v)
-        );
+        println!("  {v}\t{:.4}\t{:.4}", analytic.pmf(v), empirical.pmf(v));
     }
     if show < n {
         println!(

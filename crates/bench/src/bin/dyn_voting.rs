@@ -12,9 +12,7 @@
 //!        [-- --alpha 0.5 --medium-scale]
 
 use quorum_bench::{default_threads, pct, Args, Scale};
-use quorum_core::{
-    DynamicVoting, QuorumConsensus, QuorumSpec, SearchStrategy, VoteAssignment,
-};
+use quorum_core::{DynamicVoting, QuorumConsensus, QuorumSpec, SearchStrategy, VoteAssignment};
 use quorum_replica::adaptive::{run_adaptive, AdaptiveConfig, Phase};
 use quorum_replica::scenario::PaperScenario;
 use quorum_replica::simulation::NullObserver;

@@ -90,7 +90,9 @@ fn main() {
         seed,
     );
 
-    println!("phase\talpha\tstatic-majority\tstatic-phase1-opt\tadaptive-QR\treassignments\tfinal-spec");
+    println!(
+        "phase\talpha\tstatic-majority\tstatic-phase1-opt\tadaptive-QR\treassignments\tfinal-spec"
+    );
     let mut sums = [0.0f64; 3];
     for i in 0..phases.len() {
         let a = static_major[i].1.availability();

@@ -14,11 +14,12 @@
 //!   * all α-curves converge at q_r = ⌊T/2⌋ = 50;
 //!   * curve maxima land at the endpoints (except Topology 16, α = .75).
 
-use quorum_bench::{default_threads, pct, print_table, Args, Scale};
+use quorum_bench::{default_threads, manifest, pct, print_table, Args, Scale};
 use quorum_core::metrics::AvailabilityMetric;
 use quorum_core::{QuorumSpec, SearchStrategy, VoteAssignment};
+use quorum_obs::Registry;
 use quorum_replica::scenario::{PaperScenario, PAPER_ALPHAS};
-use quorum_replica::{run_static, CurveSet, RunConfig, Workload};
+use quorum_replica::{run_static_observed, CurveSet, RunConfig, RunResults, Workload};
 
 fn main() {
     let args = Args::parse();
@@ -47,6 +48,10 @@ fn main() {
         scale.label()
     );
 
+    let registry = Registry::new();
+    let mut last_run: Option<(PaperScenario, RunResults)> = None;
+    let mut per_topo: Vec<(usize, f64)> = Vec::new();
+
     for sc in scenarios {
         let topo = sc.topology();
         let n = topo.num_sites();
@@ -59,7 +64,17 @@ fn main() {
             threads,
         };
         let t0 = std::time::Instant::now();
-        let results = run_static(&topo, VoteAssignment::uniform(n), spec, workload, cfg);
+        let results = {
+            let _t = registry.scoped_timer(&format!("figures.topology_{}", sc.chords));
+            run_static_observed(
+                &topo,
+                VoteAssignment::uniform(n),
+                spec,
+                workload,
+                cfg,
+                &registry,
+            )
+        };
         let curves = CurveSet::from_run(&results);
         let elapsed = t0.elapsed();
 
@@ -72,7 +87,9 @@ fn main() {
             sc.label(),
             fig,
             topo.num_links(),
-            topo.diameter().map(|d| d.to_string()).unwrap_or_else(|| "∞".into()),
+            topo.diameter()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "∞".into()),
             results.batches,
             results
                 .interval()
@@ -158,5 +175,28 @@ fn main() {
             results.is_one_copy_serializable(),
             "1SR violated — simulator bug"
         );
+        per_topo.push((sc.chords, results.availability()));
+        last_run = Some((sc, results));
+    }
+
+    if let Some((sc, results)) = last_run {
+        // Counters/timers aggregate every topology; the structural fields
+        // (topology record, votes, CI trace) describe the last run.
+        let mut m = manifest::manifest_for_run(
+            "figures",
+            seed,
+            &scale.params(),
+            &sc.label(),
+            sc.chords,
+            &sc.topology(),
+            &VoteAssignment::uniform(sc.topology().num_sites()),
+            &results,
+            &registry,
+        );
+        m.batches = m.counter(quorum_obs::keys::RUN_BATCHES);
+        for (chords, a) in &per_topo {
+            m.set_metric(&format!("availability.topology_{chords}"), *a);
+        }
+        manifest::write_requested(&args, &m);
     }
 }

@@ -59,7 +59,10 @@ fn main() {
     let model = AvailabilityModel::from_mixtures(&density, &density);
     let floor: Option<f64> = args.get("floor");
 
-    println!("# optimal quorum assignments | T = {total} votes, mean component = {:.2}", density.mean());
+    println!(
+        "# optimal quorum assignments | T = {total} votes, mean component = {:.2}",
+        density.mean()
+    );
     match floor {
         Some(f) => println!("# write floor: A_w >= {}", pct(f)),
         None => println!("# no write floor (pass --floor 0.2 to add one)"),

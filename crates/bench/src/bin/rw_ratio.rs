@@ -12,10 +12,11 @@
 //!
 //! Usage: cargo run -p quorum-bench --release --bin rw_ratio [-- --paper-scale]
 
-use quorum_bench::{default_threads, pct, run_jobs, Args, Scale};
+use quorum_bench::{default_threads, manifest, pct, run_jobs, Args, Scale};
 use quorum_core::{QuorumSpec, SearchStrategy, VoteAssignment};
+use quorum_obs::Registry;
 use quorum_replica::scenario::{PaperScenario, PAPER_ALPHAS};
-use quorum_replica::{run_static, CurveSet, RunConfig, RunResults, Workload};
+use quorum_replica::{run_static_observed, CurveSet, RunConfig, RunResults, Workload};
 
 fn main() {
     let args = Args::parse();
@@ -29,29 +30,36 @@ fn main() {
         scale.label()
     );
 
-    // One simulation per topology, load-balanced across workers.
-    let jobs: Vec<Box<dyn FnOnce() -> RunResults + Send>> = scenarios
-        .iter()
-        .map(|sc| {
-            let topo = sc.topology();
-            let cfg = RunConfig {
-                params: scale.params(),
-                seed,
-                threads: 1,
-            };
-            Box::new(move || {
-                let n = topo.num_sites();
-                run_static(
-                    &topo,
-                    VoteAssignment::uniform(n),
-                    QuorumSpec::from_read_quorum(n as u64 / 2, n as u64).expect("valid"),
-                    Workload::uniform(n, 0.5),
-                    cfg,
-                )
-            }) as Box<dyn FnOnce() -> RunResults + Send>
-        })
-        .collect();
-    let runs = run_jobs(threads, jobs);
+    // One simulation per topology, load-balanced across workers; every
+    // run reports into one registry so the manifest covers the sweep.
+    let registry = Registry::new();
+    let runs = {
+        let _t = registry.scoped_timer("rw_ratio.simulations");
+        let reg = &registry;
+        let jobs: Vec<Box<dyn FnOnce() -> RunResults + Send + '_>> = scenarios
+            .iter()
+            .map(|sc| {
+                let topo = sc.topology();
+                let cfg = RunConfig {
+                    params: scale.params(),
+                    seed,
+                    threads: 1,
+                };
+                Box::new(move || {
+                    let n = topo.num_sites();
+                    run_static_observed(
+                        &topo,
+                        VoteAssignment::uniform(n),
+                        QuorumSpec::from_read_quorum(n as u64 / 2, n as u64).expect("valid"),
+                        Workload::uniform(n, 0.5),
+                        cfg,
+                        reg,
+                    )
+                }) as Box<dyn FnOnce() -> RunResults + Send + '_>
+            })
+            .collect();
+        run_jobs(threads, jobs)
+    };
 
     println!("topology\talpha\topt_q_r\topt_A\tendpoint\tA_at_majority_end\tmajority_is_minimum");
     // Tie tolerance = the paper's CI half-width: on dense topologies the
@@ -66,8 +74,10 @@ fn main() {
         let hi = total / 2;
         for &alpha in &PAPER_ALPHAS {
             let opt = curves.optimal(alpha, SearchStrategy::Exhaustive);
-            let series =
-                curves.curve(quorum_core::metrics::AvailabilityMetric::Accessibility, alpha);
+            let series = curves.curve(
+                quorum_core::metrics::AvailabilityMetric::Accessibility,
+                alpha,
+            );
             let at_end = series[hi as usize - 1];
             let min = series.iter().cloned().fold(f64::MAX, f64::min);
             let majority_is_min = (at_end - min).abs() < 1e-9;
@@ -121,4 +131,30 @@ fn main() {
         "# max |A(topology 256) - A(topology 4949)| over all curves: {:.2}% (paper: nearly identical)",
         100.0 * worst
     );
+
+    // Structural fields describe the first topology's run; counters and
+    // timers aggregate the whole seven-topology sweep.
+    let sc0 = scenarios[0];
+    let mut m = manifest::manifest_for_run(
+        "rw_ratio",
+        seed,
+        &scale.params(),
+        &sc0.label(),
+        sc0.chords,
+        &sc0.topology(),
+        &VoteAssignment::uniform(sc0.topology().num_sites()),
+        &runs[0],
+        &registry,
+    );
+    m.batches = m.counter(quorum_obs::keys::RUN_BATCHES);
+    m.set_metric(
+        "rw_ratio.majority_end_attains_fraction",
+        majority_end_attains as f64 / cells as f64,
+    );
+    m.set_metric(
+        "rw_ratio.strict_majority_argmax",
+        strict_majority_argmax as f64,
+    );
+    m.set_metric("rw_ratio.dense_topology_max_delta", worst);
+    manifest::write_requested(&args, &m);
 }

@@ -38,10 +38,26 @@ fn main() {
     );
 
     let shapes = [
-        ("exponential (paper)", DurationDist::Exponential, DurationDist::Exponential),
-        ("fixed repairs", DurationDist::Exponential, DurationDist::Fixed),
-        ("uniform repairs", DurationDist::Exponential, DurationDist::Uniform),
-        ("fixed lifetimes", DurationDist::Fixed, DurationDist::Exponential),
+        (
+            "exponential (paper)",
+            DurationDist::Exponential,
+            DurationDist::Exponential,
+        ),
+        (
+            "fixed repairs",
+            DurationDist::Exponential,
+            DurationDist::Fixed,
+        ),
+        (
+            "uniform repairs",
+            DurationDist::Exponential,
+            DurationDist::Uniform,
+        ),
+        (
+            "fixed lifetimes",
+            DurationDist::Fixed,
+            DurationDist::Exponential,
+        ),
     ];
 
     println!("shape\tA(0,50)\tA(.5,25)\tA(.75,1)\tA(1,1)\topt(.5)");

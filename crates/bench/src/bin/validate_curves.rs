@@ -1,104 +1,48 @@
 //! Methodology validation: the "one run, all curves" trick vs direct
 //! per-assignment simulation.
 //!
-//! The figure harness measures one component-vote histogram per topology
-//! and derives every `A(α, q_r)` point from it through the Figure-1 model.
-//! This binary spot-checks that shortcut: for a grid of `(α, q_r)` cells
-//! it *directly* simulates the static protocol at that exact assignment
-//! and workload, then compares the measured grant rate against the curve
-//! prediction. Cells run in parallel with dynamic load balancing.
+//! Thin CLI over [`quorum_bench::validate`]: the figure harness measures
+//! one component-vote histogram per topology and derives every
+//! `A(α, q_r)` point from it through the Figure-1 model; the validation
+//! sweep directly simulates a grid of `(α, q_r)` cells and compares.
+//! Cells run in parallel with dynamic load balancing.
 //!
 //! Usage: cargo run -p quorum-bench --release --bin validate_curves
-//!        [-- --topology 4 --seed 6 --medium-scale]
+//!        [-- --topology 4 --seed 6 --medium-scale --manifest m.json]
 
-use quorum_bench::{default_threads, pct, run_jobs, Args, Scale};
-use quorum_core::metrics::AvailabilityMetric;
-use quorum_core::{QuorumSpec, VoteAssignment};
-use quorum_replica::scenario::PaperScenario;
-use quorum_replica::{run_static, CurveSet, RunConfig, RunResults, Workload};
+use quorum_bench::validate::{run, ValidateOpts};
+use quorum_bench::{manifest, pct, Args, Scale};
 
 fn main() {
     let args = Args::parse();
-    let scale = Scale::from_args(&args);
-    let seed: u64 = args.get_or("seed", 6);
-    let threads = args.get_or("threads", default_threads());
-    let chords: usize = args.get_or("topology", 4);
-
-    let sc = PaperScenario::new(chords);
-    let topo = sc.topology();
-    let n = topo.num_sites();
-    let total = n as u64;
+    let opts = ValidateOpts::from_cli(&args);
 
     println!(
-        "# Curve-method validation | {} scale={} seed={seed}",
-        sc.label(),
-        scale.label()
+        "# Curve-method validation | Topology {} scale={} seed={}",
+        opts.chords,
+        Scale::from_args(&args).label(),
+        opts.seed
     );
 
-    // Reference: one histogram run → curve family.
-    let reference = run_static(
-        &topo,
-        VoteAssignment::uniform(n),
-        QuorumSpec::from_read_quorum(total / 2, total).expect("valid"),
-        Workload::uniform(n, 0.5),
-        RunConfig {
-            params: scale.params(),
-            seed,
-            threads,
-        },
-    );
-    let curves = CurveSet::from_run(&reference);
-
-    // Grid of direct simulations.
-    let grid: Vec<(f64, u64)> = [0.0, 0.5, 1.0]
-        .iter()
-        .flat_map(|&a| [1u64, 10, 25, 40, 50].map(|q| (a, q)))
-        .collect();
-    type CellJob<'a> = Box<dyn FnOnce() -> (f64, u64, RunResults) + Send + 'a>;
-    let topo_ref = &topo;
-    let params = scale.params();
-    let jobs: Vec<CellJob> = grid
-        .iter()
-        .map(|&(alpha, q_r)| {
-            Box::new(move || {
-                let res = run_static(
-                    topo_ref,
-                    VoteAssignment::uniform(n),
-                    QuorumSpec::from_read_quorum(q_r, total).expect("valid"),
-                    Workload::uniform(n, alpha),
-                    RunConfig {
-                        params,
-                        seed: seed + 1000 + q_r + (alpha * 7.0) as u64,
-                        threads: 1,
-                    },
-                );
-                (alpha, q_r, res)
-            }) as CellJob
-        })
-        .collect();
-    let results = run_jobs(threads, jobs);
+    let report = run(&opts);
 
     println!("alpha\tq_r\tdirect_A\tcurve_A\tdelta");
-    let mut worst: f64 = 0.0;
-    for (alpha, q_r, res) in results {
-        let direct = res.availability();
-        let predicted = curves.availability(AvailabilityMetric::Accessibility, alpha, q_r);
-        let delta = (direct - predicted).abs();
-        worst = worst.max(delta);
+    for cell in &report.cells {
         println!(
-            "{alpha}\t{q_r}\t{}\t{}\t{:+.2}%",
-            pct(direct),
-            pct(predicted),
-            100.0 * (direct - predicted)
+            "{}\t{}\t{}\t{}\t{:+.2}%",
+            cell.alpha,
+            cell.q_r,
+            pct(cell.direct),
+            pct(cell.predicted),
+            100.0 * (cell.direct - cell.predicted)
         );
-        assert!(res.is_one_copy_serializable());
+        assert!(cell.serializable, "1SR violated — simulator bug");
     }
     println!(
         "# worst |direct − curve| = {:.2}% (both sides carry ~{:.1}% CI at this scale)",
-        100.0 * worst,
-        100.0 * reference
-            .interval()
-            .map(|ci| ci.half_width)
-            .unwrap_or(0.0)
+        100.0 * report.worst_delta,
+        100.0 * report.reference_half_width
     );
+
+    manifest::write_requested(&args, &report.manifest);
 }

@@ -48,13 +48,8 @@ fn simulate(
     let spec = QuorumSpec::majority(va.total());
     let mut params = scale.params();
     params.reliability = reliability;
-    let mut sim = Simulation::with_votes(
-        topo,
-        params,
-        va.clone(),
-        Workload::uniform(n, alpha),
-        seed,
-    );
+    let mut sim =
+        Simulation::with_votes(topo, params, va.clone(), Workload::uniform(n, alpha), seed);
     let mut proto = QuorumConsensus::new(va, spec);
     sim.run_batch(&mut proto, &mut NullObserver).availability()
 }

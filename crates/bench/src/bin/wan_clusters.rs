@@ -133,7 +133,8 @@ fn main() {
         VoteAssignment::uniform(n),
         QuorumSpec::from_read_quorum(total / 2, total).expect("valid"),
     );
-    let mut flaky_stats = flaky_sim.run_batch(&mut proto, &mut quorum_replica::simulation::NullObserver);
+    let mut flaky_stats =
+        flaky_sim.run_batch(&mut proto, &mut quorum_replica::simulation::NullObserver);
     for _ in 1..3 {
         let s = flaky_sim.run_batch(&mut proto, &mut quorum_replica::simulation::NullObserver);
         flaky_stats.merge(&s);
@@ -144,6 +145,7 @@ fn main() {
         write_acc: quorum_stats::BatchMeans::paper_defaults(),
         combined: flaky_stats,
         batches: 3,
+        ci_trace: Vec::new(),
     };
     let flaky_curves = CurveSet::from_run(&flaky_results);
     let flaky_opt = flaky_curves.optimal(alpha, SearchStrategy::Exhaustive);

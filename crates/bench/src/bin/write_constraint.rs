@@ -71,9 +71,7 @@ fn main() {
                 pct(c.write_availability),
                 pct(floor),
             );
-            println!(
-                "# paper's worked numbers at alpha=0.75, floor=20%: q_r ~ 28, A ~ 50%"
-            );
+            println!("# paper's worked numbers at alpha=0.75, floor=20%: q_r ~ 28, A ~ 50%");
         }
         None => println!("floor {} infeasible for this topology", pct(floor)),
     }

@@ -15,6 +15,9 @@ use parking_lot::Mutex;
 use quorum_des::SimParams;
 use std::collections::HashMap;
 
+pub mod manifest;
+pub mod validate;
+
 /// Minimal `--key value` / `--flag` argument parser.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -57,9 +60,10 @@ impl Args {
     where
         T::Err: std::fmt::Debug,
     {
-        self.values
-            .get(name)
-            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{name} {v:?}: {e:?}")))
+        self.values.get(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("--{name} {v:?}: {e:?}"))
+        })
     }
 
     /// Value with a default.
@@ -84,7 +88,9 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `--paper-scale` / `--medium-scale` flags.
+    /// Reads `--paper-scale` / `--medium-scale` / `--quick` flags
+    /// (`--quick` is the default and accepted explicitly so CI recipes
+    /// can spell out the scale they run at).
     pub fn from_args(args: &Args) -> Self {
         if args.flag("paper-scale") {
             Scale::Paper
@@ -127,10 +133,7 @@ impl Scale {
 /// Uses a crossbeam channel as the work queue: paper topologies range from
 /// 101 to 5050 links, so equal-sized static chunks would leave most
 /// workers idle while one grinds the fully-connected case.
-pub fn run_jobs<T: Send>(
-    threads: usize,
-    jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>>,
-) -> Vec<T> {
+pub fn run_jobs<T: Send>(threads: usize, jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
     let n = jobs.len();
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 || n <= 1 {
@@ -202,6 +205,11 @@ mod tests {
     #[test]
     fn scale_selection() {
         assert_eq!(Scale::from_args(&argv("")), Scale::Quick);
+        assert_eq!(Scale::from_args(&argv("--quick")), Scale::Quick);
+        assert_eq!(
+            Scale::from_args(&argv("--quick --manifest /tmp/m.json")),
+            Scale::Quick
+        );
         assert_eq!(Scale::from_args(&argv("--paper-scale")), Scale::Paper);
         assert_eq!(Scale::from_args(&argv("--medium-scale")), Scale::Medium);
         assert_eq!(Scale::Paper.params().batch_accesses, 1_000_000);
@@ -218,8 +226,7 @@ mod tests {
 
     #[test]
     fn run_jobs_single_thread() {
-        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
-            vec![Box::new(|| 1), Box::new(|| 2)];
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 1), Box::new(|| 2)];
         assert_eq!(run_jobs(1, jobs), vec![1, 2]);
     }
 

@@ -1,0 +1,154 @@
+//! Run-manifest assembly for the experiment binaries.
+//!
+//! Every driver that accepts `--manifest <path>` funnels through here:
+//! the helpers translate simulator-side types ([`SimParams`],
+//! [`Topology`], [`quorum_replica::RunResults`]) into the
+//! dependency-free records `quorum-obs` serialises, and
+//! [`write_requested`] handles the flag itself so the binaries stay thin.
+
+use crate::Args;
+use quorum_core::VoteAssignment;
+use quorum_des::{DurationDist, SimParams};
+use quorum_graph::Topology;
+use quorum_obs::{Registry, RunManifest, SimParamsRecord, TopologyRecord};
+use quorum_replica::RunResults;
+use std::path::Path;
+
+/// Manifest name of a duration-distribution shape.
+pub fn dist_name(d: DurationDist) -> String {
+    match d {
+        DurationDist::Exponential => "exponential".into(),
+        DurationDist::Fixed => "fixed".into(),
+        DurationDist::Uniform => "uniform".into(),
+    }
+}
+
+/// Converts live simulation parameters into the manifest record.
+pub fn sim_params_record(p: &SimParams) -> SimParamsRecord {
+    SimParamsRecord {
+        mu_access: p.mu_access,
+        rho: p.rho,
+        reliability: p.reliability,
+        warmup_accesses: p.warmup_accesses,
+        batch_accesses: p.batch_accesses,
+        min_batches: p.min_batches,
+        max_batches: p.max_batches,
+        confidence: p.confidence,
+        ci_half_width: p.ci_half_width,
+        fail_dist: dist_name(p.fail_dist),
+        repair_dist: dist_name(p.repair_dist),
+    }
+}
+
+/// Describes a topology for the manifest.
+pub fn topology_record(label: &str, chords: usize, topo: &Topology) -> TopologyRecord {
+    TopologyRecord {
+        label: label.to_string(),
+        sites: topo.num_sites() as u64,
+        links: topo.num_links() as u64,
+        chords: chords as u64,
+    }
+}
+
+/// Assembles a manifest from one observed run: parameters, topology,
+/// vote assignment, batch count, CI-convergence trace, headline
+/// availability metrics, and every counter/timer/gauge in `registry`.
+#[allow(clippy::too_many_arguments)]
+pub fn manifest_for_run(
+    bin: &str,
+    seed: u64,
+    params: &SimParams,
+    label: &str,
+    chords: usize,
+    topo: &Topology,
+    votes: &VoteAssignment,
+    results: &RunResults,
+    registry: &Registry,
+) -> RunManifest {
+    let mut m = RunManifest::new(bin, seed);
+    m.params = sim_params_record(params);
+    m.topology = topology_record(label, chords, topo);
+    m.votes = votes.as_slice().to_vec();
+    m.batches = results.batches;
+    m.ci_trace = results.ci_trace.clone();
+    m.absorb_snapshot(&registry.snapshot());
+    m.set_metric("availability", results.availability());
+    m.set_metric("read_availability", results.combined.read_availability());
+    m.set_metric("write_availability", results.combined.write_availability());
+    if let Some(ci) = results.interval() {
+        m.set_metric("ci_half_width", ci.half_width);
+    }
+    m
+}
+
+/// Writes `manifest` to the path given by `--manifest <path>`, if any.
+///
+/// Returns `true` when a manifest was written. The extension picks the
+/// format (`.csv` → flat CSV, anything else → pretty JSON).
+pub fn write_requested(args: &Args, manifest: &RunManifest) -> bool {
+    let Some(path) = args.get::<String>("manifest") else {
+        assert!(
+            !args.flag("manifest"),
+            "--manifest requires a path (e.g. --manifest run.json)"
+        );
+        return false;
+    };
+    manifest
+        .write_to(Path::new(&path))
+        .unwrap_or_else(|e| panic!("cannot write --manifest {path:?}: {e}"));
+    println!("# wrote manifest {path}");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_obs::keys;
+
+    #[test]
+    fn dist_names_are_stable() {
+        assert_eq!(dist_name(DurationDist::Exponential), "exponential");
+        assert_eq!(dist_name(DurationDist::Fixed), "fixed");
+        assert_eq!(dist_name(DurationDist::Uniform), "uniform");
+    }
+
+    #[test]
+    fn assembled_manifest_round_trips() {
+        use quorum_core::QuorumSpec;
+        use quorum_replica::{run_static_observed, RunConfig, Workload};
+
+        let topo = Topology::ring(9);
+        let votes = VoteAssignment::uniform(9);
+        let registry = Registry::new();
+        let params = SimParams {
+            warmup_accesses: 200,
+            batch_accesses: 2_000,
+            min_batches: 2,
+            max_batches: 2,
+            ..SimParams::paper()
+        };
+        let res = run_static_observed(
+            &topo,
+            votes.clone(),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            RunConfig {
+                params,
+                seed: 3,
+                threads: 1,
+            },
+            &registry,
+        );
+        let m = manifest_for_run(
+            "unit", 3, &params, "ring-9", 0, &topo, &votes, &res, &registry,
+        );
+        assert_eq!(m.batches, res.batches);
+        assert_eq!(m.topology.sites, 9);
+        assert_eq!(m.votes.len(), 9);
+        assert_eq!(m.counter(keys::DES_EVENTS), res.combined.events_processed);
+        assert!(m.phase_secs("replica.run_static") > 0.0);
+        let back = RunManifest::parse(&m.to_json().to_string_pretty()).expect("round-trip");
+        assert_eq!(back.counters, m.counters);
+        assert_eq!(back.params.fail_dist, "exponential");
+    }
+}

@@ -60,10 +60,7 @@ pub fn fully_connected_density(n: usize, p: f64, r: f64) -> DiscreteDist {
     pmf[0] = 1.0 - p;
     for v in 1..=n {
         let outside = (1.0 - p) + p * q.powi(v as i32);
-        pmf[v] = choose(n - 1, v - 1)
-            * p.powi(v as i32)
-            * outside.powi((n - v) as i32)
-            * rel[v];
+        pmf[v] = choose(n - 1, v - 1) * p.powi(v as i32) * outside.powi((n - v) as i32) * rel[v];
     }
     // Tiny negative clamps can arise from Rel clamping; renormalize the
     // residual rounding (sum deviates from 1 only at ~1e-12 scale).

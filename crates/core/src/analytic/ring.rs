@@ -61,10 +61,7 @@ mod tests {
         ] {
             let d = ring_density(n, p, r);
             let s = d.total_mass();
-            assert!(
-                (s - 1.0).abs() < 1e-9,
-                "ring({n}, {p}, {r}) mass = {s}"
-            );
+            assert!((s - 1.0).abs() < 1e-9, "ring({n}, {p}, {r}) mass = {s}");
         }
     }
 

@@ -72,8 +72,12 @@ mod tests {
 
     #[test]
     fn both_densities_normalize() {
-        for &(n, p, r) in &[(2usize, 0.9, 0.9), (5, 0.96, 0.96), (25, 0.5, 0.7), (101, 0.96, 0.96)]
-        {
+        for &(n, p, r) in &[
+            (2usize, 0.9, 0.9),
+            (5, 0.96, 0.96),
+            (25, 0.5, 0.7),
+            (101, 0.96, 0.96),
+        ] {
             for (name, d) in [
                 ("hub", star_hub_density(n, p, r)),
                 ("leaf", star_leaf_density(n, p, r)),
@@ -96,7 +100,12 @@ mod tests {
     fn hub_sees_larger_components_than_leaves() {
         let hub = star_hub_density(15, 0.9, 0.9);
         let leaf = star_leaf_density(15, 0.9, 0.9);
-        assert!(hub.mean() > leaf.mean(), "{} vs {}", hub.mean(), leaf.mean());
+        assert!(
+            hub.mean() > leaf.mean(),
+            "{} vs {}",
+            hub.mean(),
+            leaf.mean()
+        );
     }
 
     #[test]

@@ -128,8 +128,7 @@ impl AvailabilityModel {
         assert!(omega >= 0.0, "write weight must be non-negative");
         self.check_args(alpha, q_r);
         let q_w = self.total - q_r + 1;
-        alpha * self.read_availability(q_r)
-            + omega * (1.0 - alpha) * self.write_availability(q_w)
+        alpha * self.read_availability(q_r) + omega * (1.0 - alpha) * self.write_availability(q_w)
     }
 
     /// Discrete forward difference `A(α, q_r+1) − A(α, q_r)` in closed
@@ -265,8 +264,7 @@ mod tests {
         let m = AvailabilityModel::from_mixtures(&d, &d);
         for q_r in 1..=5u64 {
             assert!(
-                (m.weighted_availability(1.0, 0.6, q_r) - m.availability(0.6, q_r)).abs()
-                    < 1e-12
+                (m.weighted_availability(1.0, 0.6, q_r) - m.availability(0.6, q_r)).abs() < 1e-12
             );
         }
     }
@@ -284,7 +282,9 @@ mod tests {
 
     #[test]
     fn delta_matches_direct_difference() {
-        let r = DiscreteDist::from_pmf(vec![0.1, 0.15, 0.2, 0.25, 0.1, 0.08, 0.05, 0.03, 0.02, 0.01, 0.01]);
+        let r = DiscreteDist::from_pmf(vec![
+            0.1, 0.15, 0.2, 0.25, 0.1, 0.08, 0.05, 0.03, 0.02, 0.01, 0.01,
+        ]);
         let m = AvailabilityModel::from_mixtures(&r, &r);
         for alpha in [0.0, 0.3, 0.8, 1.0] {
             for q in 1..5u64 {
@@ -307,7 +307,10 @@ mod tests {
     fn skewed_access_distribution_weights_sites() {
         // Site 0 always sees 3 votes, site 1 always 1 vote; reads go to
         // site 0 only, writes to site 1 only.
-        let f = vec![DiscreteDist::point_mass(3, 4), DiscreteDist::point_mass(1, 4)];
+        let f = vec![
+            DiscreteDist::point_mass(3, 4),
+            DiscreteDist::point_mass(1, 4),
+        ];
         let m = AvailabilityModel::from_site_densities(&f, &[1.0, 0.0], &[0.0, 1.0]);
         assert_eq!(m.read_availability(2), 1.0); // reads see 3 ≥ 2
         assert_eq!(m.write_availability(2), 0.0); // writes see 1 < 2
@@ -328,7 +331,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "fractions must sum to 1")]
     fn unnormalized_fractions_rejected() {
-        let f = vec![DiscreteDist::point_mass(1, 2), DiscreteDist::point_mass(2, 2)];
+        let f = vec![
+            DiscreteDist::point_mass(1, 2),
+            DiscreteDist::point_mass(2, 2),
+        ];
         AvailabilityModel::from_site_densities(&f, &[1.0, 1.0], &[0.5, 0.5]);
     }
 }

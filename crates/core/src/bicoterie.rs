@@ -393,7 +393,14 @@ mod tests {
     fn write_write_disjoint_rejected() {
         let e = ReadWriteCoterie::new(
             4,
-            &[vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]],
+            &[
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3],
+            ],
             &[vec![0, 1], vec![2, 3]],
         )
         .unwrap_err();

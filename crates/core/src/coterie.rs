@@ -128,7 +128,10 @@ impl Coterie {
     /// Panics if the intersection precondition fails or `n > 20`.
     pub fn from_votes(votes: &VoteAssignment, quorum: u64) -> Self {
         let n = votes.num_sites();
-        assert!(n <= MAX_SITES, "exponential enumeration capped at {MAX_SITES} sites");
+        assert!(
+            n <= MAX_SITES,
+            "exponential enumeration capped at {MAX_SITES} sites"
+        );
         assert!(
             2 * quorum > votes.total(),
             "need 2·quorum > T for pairwise intersection"
@@ -216,24 +219,22 @@ impl Coterie {
     /// Enumerates every coterie over `0..n` (exponential; practical for
     /// `n <= 4`, mirroring the ≤ 7-site exhaustive searches of \[7\]).
     pub fn enumerate_all(n: usize) -> Vec<Coterie> {
-        assert!((1..=5).contains(&n), "enumeration practical only for n <= 5");
+        assert!(
+            (1..=5).contains(&n),
+            "enumeration practical only for n <= 5"
+        );
         let all_masks: Vec<u32> = (1u32..(1 << n)).collect();
         let mut out = Vec::new();
         let mut current: Vec<u32> = Vec::new();
-        fn dfs(
-            start: usize,
-            all: &[u32],
-            current: &mut Vec<u32>,
-            out: &mut Vec<Vec<u32>>,
-        ) {
+        fn dfs(start: usize, all: &[u32], current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
             if !current.is_empty() {
                 out.push(current.clone());
             }
             for i in start..all.len() {
                 let cand = all[i];
-                let ok = current.iter().all(|&g| {
-                    g & cand != 0 && g & cand != g && g & cand != cand
-                });
+                let ok = current
+                    .iter()
+                    .all(|&g| g & cand != 0 && g & cand != g && g & cand != cand);
                 if ok {
                     current.push(cand);
                     dfs(i + 1, all, current, out);

@@ -190,10 +190,10 @@ mod tests {
         // condition. Spot-check the adversarial split after a shrink.
         let mut dv = DynamicVoting::new(6);
         dv.decide(Access::Write, &ids(0..4), 4); // electorate {0,1,2,3}
-        // Splits of the electorate: {0,1} vs {2,3}: each holds 2 of 4 —
-        // NOT a strict majority → neither can act. (This is dynamic
-        // voting's known tie weakness; Jajodia-Mutchler break ties by
-        // site id in an extension.)
+                                                 // Splits of the electorate: {0,1} vs {2,3}: each holds 2 of 4 —
+                                                 // NOT a strict majority → neither can act. (This is dynamic
+                                                 // voting's known tie weakness; Jajodia-Mutchler break ties by
+                                                 // site id in an extension.)
         assert!(!dv.can_access(&[0, 1]));
         assert!(!dv.can_access(&[2, 3]));
         // {0,1,2} vs {3}: only the first acts.

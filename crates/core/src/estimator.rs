@@ -42,6 +42,7 @@ use quorum_stats::{CountingHistogram, DecayedHistogram, DiscreteDist, VoteHistog
 pub struct SiteEstimators<H: VoteHistogram> {
     sites: Vec<H>,
     total_votes: usize,
+    recorded: u64,
 }
 
 impl SiteEstimators<CountingHistogram> {
@@ -53,6 +54,7 @@ impl SiteEstimators<CountingHistogram> {
                 .map(|_| CountingHistogram::new(total_votes))
                 .collect(),
             total_votes,
+            recorded: 0,
         }
     }
 
@@ -66,6 +68,7 @@ impl SiteEstimators<CountingHistogram> {
         for (a, b) in self.sites.iter_mut().zip(&other.sites) {
             a.merge(b);
         }
+        self.recorded += other.recorded;
     }
 }
 
@@ -78,6 +81,7 @@ impl SiteEstimators<DecayedHistogram> {
                 .map(|_| DecayedHistogram::new(total_votes, decay))
                 .collect(),
             total_votes,
+            recorded: 0,
         }
     }
 }
@@ -86,6 +90,7 @@ impl<H: VoteHistogram> SiteEstimators<H> {
     /// Records that `site` observed `votes` reachable votes.
     pub fn record(&mut self, site: usize, votes: u64) {
         self.sites[site].record(votes as usize);
+        self.recorded += 1;
     }
 
     /// Records that `site` was down (a zero-vote component, §5.2's
@@ -93,6 +98,19 @@ impl<H: VoteHistogram> SiteEstimators<H> {
     /// see the module docs on `A` vs `A'`.
     pub fn record_down(&mut self, site: usize) {
         self.sites[site].record(0);
+        self.recorded += 1;
+    }
+
+    /// Total observations recorded into the bank (across all sites,
+    /// unweighted — decay does not erode this count).
+    pub fn observations(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records the bank's lifetime observation count into a registry
+    /// under [`quorum_obs::keys::ESTIMATOR_OBSERVATIONS`].
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(quorum_obs::keys::ESTIMATOR_OBSERVATIONS, self.recorded);
     }
 
     /// Number of sites.
@@ -244,6 +262,22 @@ mod tests {
         assert_eq!(a.weight(0), 2.0);
         assert_eq!(a.weight(1), 1.0);
         assert!((a.density(0).pmf(4) - 0.5).abs() < 1e-12);
+        assert_eq!(a.observations(), 3);
+    }
+
+    #[test]
+    fn observation_count_reaches_registry() {
+        let mut est = SiteEstimators::counting(2, 4);
+        est.record(0, 4);
+        est.record(1, 2);
+        est.record_down(1);
+        let r = quorum_obs::Registry::new();
+        est.observe_into(&r);
+        assert_eq!(
+            r.snapshot()
+                .counter(quorum_obs::keys::ESTIMATOR_OBSERVATIONS),
+            3
+        );
     }
 
     #[test]

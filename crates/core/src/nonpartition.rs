@@ -129,7 +129,10 @@ pub fn optimal_votes_exhaustive(
     max_votes_per_site: u64,
 ) -> VoteOptimum {
     let n = reliabilities.len();
-    assert!((1..=8).contains(&n), "exhaustive vote search capped at 8 sites");
+    assert!(
+        (1..=8).contains(&n),
+        "exhaustive vote search capped at 8 sites"
+    );
     assert!(max_votes_per_site >= 1);
     let base = max_votes_per_site + 1;
     let combos = base.pow(n as u32);
@@ -448,11 +451,8 @@ mod tests {
         // paper's parameterization the majority end of the domain is
         // q_r = ⌊T/2⌋ with q_w = T − q_r + 1.
         let model = model_uniform_access(&[1; 9], &[0.95; 9]);
-        let opt = crate::optimal::optimal_quorum(
-            &model,
-            0.5,
-            crate::optimal::SearchStrategy::Exhaustive,
-        );
+        let opt =
+            crate::optimal::optimal_quorum(&model, 0.5, crate::optimal::SearchStrategy::Exhaustive);
         assert_eq!(opt.spec.q_r(), 4, "majority end of the domain");
     }
 
@@ -464,14 +464,10 @@ mod tests {
         // slightly better (pmf is increasing near the top, so trading
         // R(4) + W(6) for 2·R(5) gains pmf(5) − pmf(4) > 0... per side).
         let model = model_uniform_access(&[1; 9], &[0.95; 9]);
-        let domain_best = crate::optimal::optimal_quorum(
-            &model,
-            0.5,
-            crate::optimal::SearchStrategy::Exhaustive,
-        )
-        .availability;
-        let true_majority =
-            0.5 * model.read_availability(5) + 0.5 * model.write_availability(5);
+        let domain_best =
+            crate::optimal::optimal_quorum(&model, 0.5, crate::optimal::SearchStrategy::Exhaustive)
+                .availability;
+        let true_majority = 0.5 * model.read_availability(5) + 0.5 * model.write_availability(5);
         assert!(true_majority > domain_best, "nuance vanished?");
         assert!(true_majority - domain_best < 1e-3, "gap should be tiny");
     }

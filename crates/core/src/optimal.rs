@@ -35,6 +35,18 @@ pub struct OptimalAssignment {
     pub evaluations: usize,
 }
 
+impl OptimalAssignment {
+    /// Adds the search's objective-evaluation count to a registry under
+    /// [`quorum_obs::keys::OPTIMIZER_EVALUATIONS`], so argmax sweeps can
+    /// report total optimizer work alongside their wall-clock.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(
+            quorum_obs::keys::OPTIMIZER_EVALUATIONS,
+            self.evaluations as u64,
+        );
+    }
+}
+
 fn assemble(model: &AvailabilityModel, alpha: f64, q_r: u64, evals: usize) -> OptimalAssignment {
     let total = model.total_votes();
     let spec = QuorumSpec::from_read_quorum(q_r, total).expect("domain-checked q_r");
@@ -83,7 +95,13 @@ pub fn optimal_with_write_floor(
     strategy: SearchStrategy,
 ) -> Option<OptimalAssignment> {
     let q_min = min_read_quorum_for_write_floor(model, min_write)?;
-    Some(optimal_in_range(model, alpha, strategy, q_min, domain_hi(model)))
+    Some(optimal_in_range(
+        model,
+        alpha,
+        strategy,
+        q_min,
+        domain_hi(model),
+    ))
 }
 
 /// §5.4, weighted variant: maximize `A(ω, α, q) = α·R(q) + ω(1−α)·W(T−q+1)`.
@@ -291,6 +309,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn evaluations_accumulate_in_registry() {
+        let m = high_mass_model();
+        let r = quorum_obs::Registry::new();
+        let mut total = 0u64;
+        for alpha in [0.0, 0.5, 1.0] {
+            let opt = optimal_quorum(&m, alpha, SearchStrategy::Exhaustive);
+            opt.observe_into(&r);
+            total += opt.evaluations as u64;
+        }
+        assert!(total > 0);
+        assert_eq!(
+            r.snapshot()
+                .counter(quorum_obs::keys::OPTIMIZER_EVALUATIONS),
+            total
+        );
     }
 
     #[test]

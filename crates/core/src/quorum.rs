@@ -80,16 +80,10 @@ impl QuorumSpec {
     /// Validates an explicit `(q_r, q_w)` pair.
     pub fn new(q_r: u64, q_w: u64, total: u64) -> Result<Self, QuorumError> {
         if q_r == 0 || q_r > total {
-            return Err(QuorumError::OutOfRange {
-                value: q_r,
-                total,
-            });
+            return Err(QuorumError::OutOfRange { value: q_r, total });
         }
         if q_w == 0 || q_w > total {
-            return Err(QuorumError::OutOfRange {
-                value: q_w,
-                total,
-            });
+            return Err(QuorumError::OutOfRange { value: q_w, total });
         }
         if q_r + q_w <= total {
             return Err(QuorumError::ReadWriteIntersection { q_r, q_w, total });
@@ -111,10 +105,7 @@ impl QuorumSpec {
             return Self::new(1, 1, 1);
         }
         if q_r == 0 || q_r > total / 2 {
-            return Err(QuorumError::OutOfRange {
-                value: q_r,
-                total,
-            });
+            return Err(QuorumError::OutOfRange { value: q_r, total });
         }
         Self::new(q_r, total - q_r + 1, total)
     }

@@ -64,7 +64,10 @@ impl fmt::Display for ReassignError {
                  (the larger of the old and new write quorums)"
             ),
             ReassignError::TotalMismatch { proposed, system } => {
-                write!(f, "proposed spec totals {proposed} votes, system has {system}")
+                write!(
+                    f,
+                    "proposed spec totals {proposed} votes, system has {system}"
+                )
             }
             ReassignError::EmptyComponent => write!(f, "no operational site in component"),
         }

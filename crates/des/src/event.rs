@@ -40,6 +40,7 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
+    popped: u64,
     now: SimTime,
 }
 
@@ -49,6 +50,7 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            popped: 0,
             now: SimTime::ZERO,
         }
     }
@@ -78,6 +80,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(ev) = self.heap.pop()?;
         self.now = ev.time;
+        self.popped += 1;
         Some((ev.time, ev.payload))
     }
 
@@ -99,6 +102,23 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped (processed) over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Records the queue's lifetime totals into an observability
+    /// registry under the [`quorum_obs::keys`] DES names.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(quorum_obs::keys::DES_EVENTS, self.popped);
+        registry.add("des.events_scheduled", self.next_seq);
     }
 }
 
@@ -160,6 +180,23 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn lifetime_totals_track_schedules_and_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::new(i as f64), i);
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.scheduled(), 5);
+        assert_eq!(q.popped(), 2);
+        let r = quorum_obs::Registry::new();
+        q.observe_into(&r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(quorum_obs::keys::DES_EVENTS), 2);
+        assert_eq!(snap.counter("des.events_scheduled"), 5);
     }
 
     #[test]

@@ -208,8 +208,7 @@ mod tests {
             (DurationDist::Uniform, DurationDist::Uniform),
             (DurationDist::Exponential, DurationDist::Fixed),
         ] {
-            let mut p =
-                OnOffProcess::from_reliability(0.96, 128.0).with_distributions(fd, rd);
+            let mut p = OnOffProcess::from_reliability(0.96, 128.0).with_distributions(fd, rd);
             let mut rng = rng_from_seed(33);
             let mut t_up = 0.0;
             let mut t_total = 0.0;

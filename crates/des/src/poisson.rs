@@ -86,8 +86,7 @@ mod tests {
             counts.push(c as f64);
         }
         let mean: f64 = counts.iter().sum::<f64>() / trials as f64;
-        let var: f64 =
-            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        let var: f64 = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
         assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
         assert!((var - 3.0).abs() < 0.15, "variance {var}");
     }

@@ -190,6 +190,13 @@ impl ComponentCache {
     pub fn hits(&self) -> u64 {
         self.hits
     }
+
+    /// Records the cache's lifetime hit/recompute totals into an
+    /// observability registry under the [`quorum_obs::keys`] cache names.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(quorum_obs::keys::CACHE_HITS, self.hits);
+        registry.add(quorum_obs::keys::CACHE_RECOMPUTATIONS, self.recomputations);
+    }
 }
 
 impl Default for ComponentCache {
@@ -338,6 +345,30 @@ mod tests {
     }
 
     #[test]
+    fn cache_observation_matches_its_own_counters() {
+        let t = Topology::ring(5);
+        let mut s = NetworkState::all_up(&t);
+        let votes = uniform_votes(5);
+        let mut cache = ComponentCache::new();
+        for i in 0..6 {
+            if i % 3 == 0 {
+                s.set_site(i % 5, i % 2 == 0);
+                cache.invalidate();
+            }
+            cache.view(&t, &s, &votes);
+        }
+        let r = quorum_obs::Registry::new();
+        cache.observe_into(&r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(quorum_obs::keys::CACHE_HITS), cache.hits());
+        assert_eq!(
+            snap.counter(quorum_obs::keys::CACHE_RECOMPUTATIONS),
+            cache.recomputations()
+        );
+        assert_eq!(cache.hits() + cache.recomputations(), 6);
+    }
+
+    #[test]
     fn view_matches_fresh_compute_after_many_mutations() {
         let t = Topology::ring_with_chords(21, 8);
         let mut s = NetworkState::all_up(&t);
@@ -347,7 +378,9 @@ mod tests {
             s.set_site(i, i % 2 == 0);
             s.set_link(i, i % 3 != 0);
             cache.invalidate();
-            let cached: Vec<u64> = (0..21).map(|x| cache.view(&t, &s, &votes).votes_of(x)).collect();
+            let cached: Vec<u64> = (0..21)
+                .map(|x| cache.view(&t, &s, &votes).votes_of(x))
+                .collect();
             let fresh = ComponentView::compute(&t, &s, &votes);
             let direct: Vec<u64> = (0..21).map(|x| fresh.votes_of(x)).collect();
             assert_eq!(cached, direct);

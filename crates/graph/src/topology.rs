@@ -179,11 +179,7 @@ impl Topology {
             }
             links.push((at(c, 0), at((c + 1) % clusters, 1)));
         }
-        Self::from_links(
-            n,
-            links,
-            format!("clusters-{clusters}x{cluster_size}"),
-        )
+        Self::from_links(n, links, format!("clusters-{clusters}x{cluster_size}"))
     }
 
     /// Erdős–Rényi `G(n, p)` random graph (each possible link present
@@ -237,10 +233,8 @@ impl Topology {
             stride += 1;
         }
         let mut links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-        let mut seen: std::collections::HashSet<(usize, usize)> = links
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut seen: std::collections::HashSet<(usize, usize)> =
+            links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         let mut remaining = k;
         let mut d = n / 2;
         while remaining > 0 && d >= 2 {
@@ -363,7 +357,14 @@ mod tests {
     #[test]
     fn paper_link_counts() {
         // §1: "101 sites and up to 5050 links (fully-connected)".
-        for (k, expect) in [(0, 101), (1, 102), (2, 103), (4, 105), (16, 117), (256, 357)] {
+        for (k, expect) in [
+            (0, 101),
+            (1, 102),
+            (2, 103),
+            (4, 105),
+            (16, 117),
+            (256, 357),
+        ] {
             let t = Topology::ring_with_chords(101, k);
             assert_eq!(t.num_links(), expect, "topology {k}");
         }

@@ -1,0 +1,58 @@
+//! Structured, near-zero-cost observability for the quorum workspace.
+//!
+//! The paper's central loop — estimate `f_i(v)` on-line, run the Figure-1
+//! optimizer, compare ACC/SURV against the §5 simulation — is a
+//! long-running stochastic pipeline. Without instrumentation a run is
+//! unverifiable: seeds, event counts, cache behavior, and CI-convergence
+//! traces all vanish into a text table. This crate provides the
+//! measurement substrate every perf-oriented change reports against:
+//!
+//! * [`Registry`] — a thread-safe bank of named atomic counters, gauges,
+//!   and monotonic timers. Counter increments are a single relaxed atomic
+//!   add on the hot path; creation/lookup cost is paid once per handle.
+//! * [`ScopedTimer`] — an RAII guard accumulating wall-clock into a
+//!   registry timer.
+//! * [`RunManifest`] — everything needed to reproduce and compare a run:
+//!   seed, simulation parameters, topology descriptor, vote assignment,
+//!   batch count, CI half-width trace, per-phase wall-clock, component
+//!   cache hit/recompute rates, and DES event counts.
+//! * [`json`] — a hand-rolled JSON value model, writer, and parser (no
+//!   third-party dependencies, so offline builds keep working), plus CSV
+//!   flattening for spreadsheet-side diffing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod registry;
+
+pub use json::JsonValue;
+pub use manifest::{CiPoint, PhaseTiming, RunManifest, SimParamsRecord, TopologyRecord};
+pub use registry::{Counter, Registry, ScopedTimer, Snapshot};
+
+/// Conventional metric names shared by the instrumented crates, so that
+/// producers (simulator, cache, estimator) and consumers (manifest
+/// writers, CI smoke checks) agree without string drift.
+pub mod keys {
+    /// DES events popped from the future-event list.
+    pub const DES_EVENTS: &str = "des.events_processed";
+    /// Site up/down transitions applied.
+    pub const DES_SITE_TRANSITIONS: &str = "des.site_transitions";
+    /// Link up/down transitions applied.
+    pub const DES_LINK_TRANSITIONS: &str = "des.link_transitions";
+    /// Accesses submitted (warm-up + measured).
+    pub const DES_ACCESSES: &str = "des.accesses";
+    /// Component-cache queries served without a BFS.
+    pub const CACHE_HITS: &str = "graph.component_cache.hits";
+    /// Component-cache queries that recomputed the BFS.
+    pub const CACHE_RECOMPUTATIONS: &str = "graph.component_cache.recomputations";
+    /// Batches executed by a runner.
+    pub const RUN_BATCHES: &str = "replica.batches";
+    /// Worker threads the runner used.
+    pub const RUN_THREADS: &str = "replica.threads";
+    /// Observations recorded into estimator histograms.
+    pub const ESTIMATOR_OBSERVATIONS: &str = "core.estimator.observations";
+    /// Objective evaluations spent by optimizer argmax sweeps.
+    pub const OPTIMIZER_EVALUATIONS: &str = "core.optimizer.evaluations";
+}

@@ -1,0 +1,322 @@
+//! Counter/timer/gauge registry.
+//!
+//! Design goals, in order: hot-path increments must be one relaxed atomic
+//! add; snapshots must be deterministic (sorted by name); merging two
+//! registries (e.g. per-worker registries from a parallel run) must be
+//! associative and lossless for counters and timers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A shareable handle to one named monotonic counter.
+///
+/// Cloning is cheap (an `Arc` bump); increments are relaxed atomic adds.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// One named timer: accumulated nanoseconds plus an activation count.
+#[derive(Debug, Default)]
+struct TimerCell {
+    nanos: AtomicU64,
+    activations: AtomicU64,
+}
+
+/// Thread-safe bank of named counters, timers, and gauges.
+///
+/// Handle acquisition ([`Registry::counter`]) takes a lock once; the
+/// returned [`Counter`] is lock-free thereafter. All maps are `BTreeMap`s
+/// so snapshots and serialized output are deterministically ordered.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    timers: Mutex<BTreeMap<String, Arc<TimerCell>>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Adds `n` to the counter named `name` (handle-free convenience for
+    /// cold paths; hot paths should hold a [`Counter`]).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Sets the gauge named `name` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut map = self.gauges.lock().expect("registry lock");
+        map.insert(name.to_string(), value);
+    }
+
+    /// Starts a scoped timer accumulating into `name` on drop.
+    pub fn scoped_timer(&self, name: &str) -> ScopedTimer {
+        let cell = {
+            let mut map = self.timers.lock().expect("registry lock");
+            Arc::clone(map.entry(name.to_string()).or_default())
+        };
+        ScopedTimer {
+            cell,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records an externally-measured duration into timer `name`.
+    pub fn record_duration(&self, name: &str, duration: std::time::Duration) {
+        let cell = {
+            let mut map = self.timers.lock().expect("registry lock");
+            Arc::clone(map.entry(name.to_string()).or_default())
+        };
+        cell.nanos
+            .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        cell.activations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges another registry into this one: counters and timers add;
+    /// gauges take `other`'s value (last writer wins).
+    pub fn merge(&self, other: &Registry) {
+        let snap = other.snapshot();
+        for (name, v) in &snap.counters {
+            self.add(name, *v);
+        }
+        for (name, (nanos, activations)) in &snap.timers {
+            let cell = {
+                let mut map = self.timers.lock().expect("registry lock");
+                Arc::clone(map.entry(name.clone()).or_default())
+            };
+            cell.nanos.fetch_add(*nanos, Ordering::Relaxed);
+            cell.activations.fetch_add(*activations, Ordering::Relaxed);
+        }
+        for (name, v) in &snap.gauges {
+            self.set_gauge(name, *v);
+        }
+    }
+
+    /// A deterministic point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let timers = self
+            .timers
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    (
+                        v.nanos.load(Ordering::Relaxed),
+                        v.activations.load(Ordering::Relaxed),
+                    ),
+                )
+            })
+            .collect();
+        let gauges = self.gauges.lock().expect("registry lock").clone();
+        Snapshot {
+            counters,
+            timers,
+            gauges,
+        }
+    }
+}
+
+/// RAII wall-clock timer; accumulates into its registry slot on drop.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    cell: Arc<TimerCell>,
+    started: Instant,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.cell
+            .nanos
+            .fetch_add(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.cell.activations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Deterministically-ordered copy of a [`Registry`]'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// `(accumulated nanoseconds, activations)` by timer name.
+    pub timers: BTreeMap<String, (u64, u64)>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    /// Counter value, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Accumulated seconds in timer `name`, or 0.
+    pub fn timer_secs(&self, name: &str) -> f64 {
+        self.timers
+            .get(name)
+            .map(|&(nanos, _)| nanos as f64 / 1e9)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Process-wide registry for call sites with no natural place to thread a
+/// handle (one-shot examples, ad-hoc probes). Library code should prefer
+/// an explicitly-passed [`Registry`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_and_name_share_storage() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(3);
+        r.add("x", 4);
+        assert_eq!(r.counter("x").get(), 7);
+        assert_eq!(r.snapshot().counter("x"), 7);
+    }
+
+    #[test]
+    fn missing_names_read_zero() {
+        let s = Registry::new().snapshot();
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.timer_secs("nope"), 0.0);
+    }
+
+    #[test]
+    fn scoped_timer_accumulates() {
+        let r = Registry::new();
+        for _ in 0..3 {
+            let _t = r.scoped_timer("phase");
+            std::hint::black_box(());
+        }
+        let snap = r.snapshot();
+        let (_nanos, activations) = snap.timers["phase"];
+        assert_eq!(activations, 3);
+        assert!(snap.timer_secs("phase") >= 0.0);
+    }
+
+    #[test]
+    fn record_duration_is_explicit_path() {
+        let r = Registry::new();
+        r.record_duration("io", std::time::Duration::from_millis(5));
+        r.record_duration("io", std::time::Duration::from_millis(7));
+        let snap = r.snapshot();
+        assert_eq!(snap.timers["io"].1, 2);
+        assert!((snap.timer_secs("io") - 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_timers_overwrites_gauges() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("c", 10);
+        b.add("c", 5);
+        b.add("only_b", 1);
+        a.record_duration("t", std::time::Duration::from_secs(1));
+        b.record_duration("t", std::time::Duration::from_secs(2));
+        a.set_gauge("g", 1.0);
+        b.set_gauge("g", 9.0);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("c"), 15);
+        assert_eq!(snap.counter("only_b"), 1);
+        assert_eq!(snap.timers["t"], (3_000_000_000, 2));
+        assert_eq!(snap.gauges["g"], 9.0);
+    }
+
+    #[test]
+    fn merge_is_associative_for_counters() {
+        let mk = |v: u64| {
+            let r = Registry::new();
+            r.add("c", v);
+            r
+        };
+        let left = mk(1);
+        left.merge(&mk(2));
+        left.merge(&mk(4));
+        let right = mk(1);
+        let bc = mk(2);
+        bc.merge(&mk(4));
+        right.merge(&bc);
+        assert_eq!(left.snapshot().counter("c"), right.snapshot().counter("c"));
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = Registry::new();
+        let c = r.counter("hot");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("hot"), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        r.add("zebra", 1);
+        r.add("alpha", 1);
+        r.add("mid", 1);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().add("obs.test.global", 2);
+        assert!(global().snapshot().counter("obs.test.global") >= 2);
+    }
+}

@@ -302,13 +302,7 @@ mod tests {
             QuorumSpec::majority(15),
             AdaptiveConfig::default(),
         );
-        run_phased(
-            &topo,
-            params(),
-            &[Phase::new(0.9, 5_000)],
-            &mut proto,
-            3,
-        );
+        run_phased(&topo, params(), &[Phase::new(0.9, 5_000)], &mut proto, 3);
         assert!(
             (proto.alpha_estimate() - 0.9).abs() < 0.1,
             "α̂ = {}",

@@ -182,11 +182,7 @@ mod tests {
         let res = small_run();
         let curves = CurveSet::from_run(&res);
         let spec = QuorumSpec::from_read_quorum(6, 13).unwrap();
-        let predicted = curves.availability(
-            AvailabilityMetric::Accessibility,
-            0.5,
-            spec.q_r(),
-        );
+        let predicted = curves.availability(AvailabilityMetric::Accessibility, 0.5, spec.q_r());
         let direct = res.combined.availability();
         assert!(
             (predicted - direct).abs() < 0.02,
@@ -229,10 +225,7 @@ mod tests {
         for q in 1..=6u64 {
             let acc = curves.availability(AvailabilityMetric::Accessibility, 0.5, q);
             let surv = curves.availability(AvailabilityMetric::Survivability, 0.5, q);
-            assert!(
-                surv >= acc - 1e-12,
-                "q_r = {q}: SURV {surv} < ACC {acc}"
-            );
+            assert!(surv >= acc - 1e-12, "q_r = {q}: SURV {surv} < ACC {acc}");
         }
     }
 

@@ -41,7 +41,7 @@ pub mod workload;
 pub use curves::CurveSet;
 pub use object::SerializabilityChecker;
 pub use results::{BatchStats, RunResults};
-pub use runner::{run_static, RunConfig};
+pub use runner::{run_static, run_static_observed, RunConfig};
 pub use scenario::PaperScenario;
 pub use simulation::Simulation;
 pub use workload::Workload;

@@ -1,5 +1,6 @@
 //! Result containers for simulation batches and multi-batch runs.
 
+use quorum_obs::CiPoint;
 use quorum_stats::{BatchMeans, ConfidenceInterval, CountingHistogram};
 
 /// Everything measured during one batch.
@@ -53,6 +54,16 @@ pub struct BatchStats {
     pub cache_recomputations: u64,
     /// Accesses served without recomputation.
     pub cache_hits: u64,
+    /// DES events popped from the future-event list (all kinds,
+    /// including warm-up).
+    pub events_processed: u64,
+    /// Site up/down transitions applied.
+    pub site_transitions: u64,
+    /// Link up/down transitions applied.
+    pub link_transitions: u64,
+    /// Accesses dispatched, warm-up included (`submitted()` counts only
+    /// the measured ones).
+    pub accesses_dispatched: u64,
 }
 
 impl BatchStats {
@@ -79,6 +90,10 @@ impl BatchStats {
             write_conflicts: 0,
             cache_recomputations: 0,
             cache_hits: 0,
+            events_processed: 0,
+            site_transitions: 0,
+            link_transitions: 0,
+            accesses_dispatched: 0,
         }
     }
 
@@ -167,7 +182,10 @@ impl BatchStats {
         for (a, b) in self.per_site_votes.iter_mut().zip(&other.per_site_votes) {
             a.merge(b);
         }
-        assert_eq!(self.time_weighted_votes.len(), other.time_weighted_votes.len());
+        assert_eq!(
+            self.time_weighted_votes.len(),
+            other.time_weighted_votes.len()
+        );
         for (a, b) in self
             .time_weighted_votes
             .iter_mut()
@@ -182,6 +200,22 @@ impl BatchStats {
         self.write_conflicts += other.write_conflicts;
         self.cache_recomputations += other.cache_recomputations;
         self.cache_hits += other.cache_hits;
+        self.events_processed += other.events_processed;
+        self.site_transitions += other.site_transitions;
+        self.link_transitions += other.link_transitions;
+        self.accesses_dispatched += other.accesses_dispatched;
+    }
+
+    /// Records the batch's event and cache totals into an observability
+    /// registry under the [`quorum_obs::keys`] names.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        use quorum_obs::keys;
+        registry.add(keys::DES_EVENTS, self.events_processed);
+        registry.add(keys::DES_SITE_TRANSITIONS, self.site_transitions);
+        registry.add(keys::DES_LINK_TRANSITIONS, self.link_transitions);
+        registry.add(keys::DES_ACCESSES, self.accesses_dispatched);
+        registry.add(keys::CACHE_HITS, self.cache_hits);
+        registry.add(keys::CACHE_RECOMPUTATIONS, self.cache_recomputations);
     }
 }
 
@@ -198,6 +232,10 @@ pub struct RunResults {
     pub combined: BatchStats,
     /// Number of batches executed.
     pub batches: u64,
+    /// Convergence trace: the ACC estimate and CI half-width after each
+    /// round of batches the runner added (§5.2's stop-when-tight loop,
+    /// made visible for run manifests).
+    pub ci_trace: Vec<CiPoint>,
 }
 
 impl RunResults {
@@ -283,6 +321,30 @@ mod tests {
         assert_eq!(a.reads_granted, 15);
         assert_eq!(a.access_votes.observations(), 3);
         assert_eq!(a.per_site_votes[1].observations(), 1);
+    }
+
+    #[test]
+    fn event_totals_merge_and_observe() {
+        let mut a = BatchStats::new(1, 2);
+        let mut b = BatchStats::new(1, 2);
+        a.events_processed = 100;
+        a.site_transitions = 10;
+        a.cache_hits = 70;
+        a.cache_recomputations = 30;
+        b.events_processed = 50;
+        b.link_transitions = 5;
+        b.accesses_dispatched = 45;
+        a.merge(&b);
+        assert_eq!(a.events_processed, 150);
+        assert_eq!(a.site_transitions, 10);
+        assert_eq!(a.link_transitions, 5);
+        assert_eq!(a.accesses_dispatched, 45);
+        let r = quorum_obs::Registry::new();
+        a.observe_into(&r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(quorum_obs::keys::DES_EVENTS), 150);
+        assert_eq!(snap.counter(quorum_obs::keys::CACHE_HITS), 70);
+        assert_eq!(snap.counter(quorum_obs::keys::CACHE_RECOMPUTATIONS), 30);
     }
 
     #[test]

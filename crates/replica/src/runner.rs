@@ -13,7 +13,9 @@ use crate::workload::Workload;
 use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
+use quorum_obs::{keys, CiPoint, Registry};
 use quorum_stats::BatchMeans;
+use std::time::{Duration, Instant};
 
 /// Configuration of a multi-batch run.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +49,7 @@ fn run_batch_range(
     workload: &Workload,
     cfg: &RunConfig,
     indices: &[u64],
-) -> Vec<BatchStats> {
+) -> Vec<(BatchStats, Duration)> {
     if indices.is_empty() {
         return Vec::new();
     }
@@ -64,7 +66,9 @@ fn run_batch_range(
                     cfg.seed,
                 );
                 let mut proto = QuorumConsensus::new(votes.clone(), spec);
-                sim.run_indexed_batch(&mut proto, &mut NullObserver, i)
+                let started = Instant::now();
+                let stats = sim.run_indexed_batch(&mut proto, &mut NullObserver, i);
+                (stats, started.elapsed())
             })
             .collect();
     }
@@ -80,7 +84,7 @@ fn run_batch_range(
                 .collect::<Vec<u64>>()
         })
         .collect();
-    let mut tagged: Vec<(u64, BatchStats)> = std::thread::scope(|scope| {
+    let mut tagged: Vec<(u64, BatchStats, Duration)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
@@ -96,7 +100,9 @@ fn run_batch_range(
                                 cfg.seed,
                             );
                             let mut proto = QuorumConsensus::new(votes.clone(), spec);
-                            (i, sim.run_indexed_batch(&mut proto, &mut NullObserver, i))
+                            let started = Instant::now();
+                            let stats = sim.run_indexed_batch(&mut proto, &mut NullObserver, i);
+                            (i, stats, started.elapsed())
                         })
                         .collect::<Vec<_>>()
                 })
@@ -107,8 +113,8 @@ fn run_batch_range(
             .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
     });
-    tagged.sort_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, s)| s).collect()
+    tagged.sort_by_key(|(i, _, _)| *i);
+    tagged.into_iter().map(|(_, s, d)| (s, d)).collect()
 }
 
 /// Runs the static quorum consensus protocol until the CI converges.
@@ -123,6 +129,23 @@ pub fn run_static(
     workload: Workload,
     cfg: RunConfig,
 ) -> RunResults {
+    run_static_observed(topology, votes, spec, workload, cfg, &Registry::new())
+}
+
+/// [`run_static`] with observability: wall-clock phases, per-batch busy
+/// time, thread utilization, the CI-convergence trace, and every DES/cache
+/// counter land in `registry` (under the [`quorum_obs::keys`] names) in
+/// addition to the returned [`RunResults`].
+pub fn run_static_observed(
+    topology: &Topology,
+    votes: VoteAssignment,
+    spec: QuorumSpec,
+    workload: Workload,
+    cfg: RunConfig,
+    registry: &Registry,
+) -> RunResults {
+    let _run_timer = registry.scoped_timer("replica.run_static");
+    let wall_start = Instant::now();
     cfg.params.validate();
     let n = topology.num_sites();
     let total = votes.total() as usize;
@@ -135,6 +158,8 @@ pub fn run_static(
     let mut read_acc = acc.clone();
     let mut write_acc = acc.clone();
     let mut combined = BatchStats::new(n, total);
+    let mut ci_trace = Vec::new();
+    let mut busy = Duration::ZERO;
     let mut next_index = 0u64;
 
     while next_index < cfg.params.max_batches {
@@ -147,16 +172,38 @@ pub fn run_static(
         };
         let indices: Vec<u64> = (next_index..goal).collect();
         next_index = goal;
-        for stats in run_batch_range(topology, &votes, spec, &workload, &cfg, &indices) {
+        for (stats, elapsed) in run_batch_range(topology, &votes, spec, &workload, &cfg, &indices) {
             acc.push_batch(stats.availability());
             read_acc.push_batch(stats.read_availability());
             write_acc.push_batch(stats.write_availability());
             combined.merge(&stats);
+            busy += elapsed;
+            registry.record_duration("replica.batch", elapsed);
+        }
+        if let Some(ci) = acc.interval() {
+            ci_trace.push(CiPoint {
+                batches: acc.batches(),
+                mean: acc.mean(),
+                half_width: ci.half_width,
+            });
         }
         if acc.is_converged() {
             break;
         }
     }
+
+    registry.add(keys::RUN_BATCHES, acc.batches());
+    registry.set_gauge(keys::RUN_THREADS, cfg.threads.max(1) as f64);
+    let wall = wall_start.elapsed().as_secs_f64();
+    if wall > 0.0 {
+        // Busy batch-seconds over available thread-seconds: 1.0 means the
+        // convergence loop kept every worker saturated.
+        registry.set_gauge(
+            "replica.thread_utilization",
+            busy.as_secs_f64() / (wall * cfg.threads.max(1) as f64),
+        );
+    }
+    combined.observe_into(registry);
 
     RunResults {
         batches: acc.batches(),
@@ -164,6 +211,7 @@ pub fn run_static(
         read_acc,
         write_acc,
         combined,
+        ci_trace,
     }
 }
 
@@ -224,6 +272,45 @@ mod tests {
         assert!(ci.half_width >= 0.0);
         assert!(res.availability() > 0.0 && res.availability() < 1.0);
         assert!(res.is_one_copy_serializable());
+    }
+
+    #[test]
+    fn observed_run_registry_matches_results() {
+        let topo = Topology::ring(9);
+        let registry = Registry::new();
+        let res = run_static_observed(
+            &topo,
+            VoteAssignment::uniform(9),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            tiny_cfg(4, 2),
+            &registry,
+        );
+        let snap = registry.snapshot();
+        // Cache counters in the registry equal the merged batch totals,
+        // which equal the cache's own accounting.
+        assert_eq!(snap.counter(keys::CACHE_HITS), res.combined.cache_hits);
+        assert_eq!(
+            snap.counter(keys::CACHE_RECOMPUTATIONS),
+            res.combined.cache_recomputations
+        );
+        assert_eq!(
+            snap.counter(keys::DES_EVENTS),
+            res.combined.events_processed
+        );
+        assert_eq!(snap.counter(keys::RUN_BATCHES), res.batches);
+        // One timer activation per batch, plus the whole-run phase timer.
+        assert_eq!(snap.timers["replica.batch"].1, res.batches);
+        assert_eq!(snap.timers["replica.run_static"].1, 1);
+        assert!(snap.timer_secs("replica.run_static") > 0.0);
+        // The convergence trace ends at the final batch count.
+        assert_eq!(res.ci_trace.last().unwrap().batches, res.batches);
+        assert!(res
+            .ci_trace
+            .iter()
+            .all(|p| p.half_width >= 0.0 && p.batches >= 2));
+        let util = snap.gauges["replica.thread_utilization"];
+        assert!(util > 0.0 && util <= 1.5, "utilization {util}");
     }
 
     #[test]

@@ -305,7 +305,7 @@ mod tests {
         // stale site 2 — and crucially let site 1 first hear about v2
         // via a brief contact with site 0.
         sc.step(&mut qr, Step::RepairLink(0)); // 0-1 back: {0,1} joins... full ring still cut at link 2
-        // Now {3,4,0,1} is one component; sync happens on next access.
+                                               // Now {3,4,0,1} is one component; sync happens on next access.
         sc.step(&mut qr, Step::Access(Access::Read, 1));
         assert_eq!(sc.last().decision, Decision::Granted);
         assert!(sc.last().consistent, "this read reaches current copies");

@@ -243,11 +243,9 @@ impl<'a> Simulation<'a> {
         let mut checker = SerializabilityChecker::new(n);
         let mut stats = BatchStats::new(n, total_votes);
 
-        let component_process = OnOffProcess::from_reliability(
-            self.params.reliability,
-            self.params.mu_fail(),
-        )
-        .with_distributions(self.params.fail_dist, self.params.repair_dist);
+        let component_process =
+            OnOffProcess::from_reliability(self.params.reliability, self.params.mu_fail())
+                .with_distributions(self.params.fail_dist, self.params.repair_dist);
         let mut site_procs: Vec<OnOffProcess> = match &self.site_reliabilities {
             None => vec![component_process; n],
             Some(rels) => rels
@@ -307,6 +305,7 @@ impl<'a> Simulation<'a> {
             last_time = t;
             match ev {
                 Event::SiteTransition(i) => {
+                    stats.site_transitions += 1;
                     let up = site_procs[i].is_up();
                     if state.set_site(i, up) {
                         cache.invalidate();
@@ -315,6 +314,7 @@ impl<'a> Simulation<'a> {
                     queue.schedule_in(gap, Event::SiteTransition(i));
                 }
                 Event::LinkTransition(i) => {
+                    stats.link_transitions += 1;
                     let up = link_procs[i].is_up();
                     if state.set_link(i, up) {
                         cache.invalidate();
@@ -435,6 +435,8 @@ impl<'a> Simulation<'a> {
         }
         stats.cache_recomputations = cache.recomputations();
         stats.cache_hits = cache.hits();
+        stats.events_processed = queue.popped();
+        stats.accesses_dispatched = accesses_seen;
         stats
     }
 }
@@ -456,20 +458,13 @@ mod tests {
     fn batch_counts_add_up() {
         let topo = Topology::ring(11);
         let mut sim = Simulation::new(&topo, quick_params(), Workload::uniform(11, 0.5), 1);
-        let mut proto = QuorumConsensus::new(
-            VoteAssignment::uniform(11),
-            QuorumSpec::majority(11),
-        );
+        let mut proto = QuorumConsensus::new(VoteAssignment::uniform(11), QuorumSpec::majority(11));
         let stats = sim.run_batch(&mut proto, &mut NullObserver);
         assert_eq!(stats.submitted(), 4_000);
         assert!(stats.granted() <= stats.submitted());
         assert_eq!(stats.access_votes.observations(), 4_000);
         assert_eq!(stats.largest_votes.observations(), 4_000);
-        let per_site: u64 = stats
-            .per_site_votes
-            .iter()
-            .map(|h| h.observations())
-            .sum();
+        let per_site: u64 = stats.per_site_votes.iter().map(|h| h.observations()).sum();
         assert_eq!(per_site, 4_000);
     }
 
@@ -477,8 +472,7 @@ mod tests {
     fn deterministic_given_seed() {
         let topo = Topology::ring_with_chords(11, 3);
         let run = |seed| {
-            let mut sim =
-                Simulation::new(&topo, quick_params(), Workload::uniform(11, 0.25), seed);
+            let mut sim = Simulation::new(&topo, quick_params(), Workload::uniform(11, 0.25), seed);
             let mut proto = QuorumConsensus::new(
                 VoteAssignment::uniform(11),
                 QuorumSpec::from_read_quorum(2, 11).unwrap(),
@@ -508,8 +502,7 @@ mod tests {
     fn valid_quorums_are_one_copy_serializable() {
         let topo = Topology::ring_with_chords(15, 4);
         for q_r in [1u64, 3, 7] {
-            let mut sim =
-                Simulation::new(&topo, quick_params(), Workload::uniform(15, 0.5), 11);
+            let mut sim = Simulation::new(&topo, quick_params(), Workload::uniform(15, 0.5), 11);
             let mut proto = QuorumConsensus::new(
                 VoteAssignment::uniform(15),
                 QuorumSpec::from_read_quorum(q_r, 15).unwrap(),
@@ -571,6 +564,30 @@ mod tests {
     }
 
     #[test]
+    fn event_counters_are_consistent() {
+        let topo = Topology::ring(11);
+        let mut sim = Simulation::new(&topo, quick_params(), Workload::uniform(11, 0.5), 6);
+        let mut proto = QuorumConsensus::majority(11);
+        let stats = sim.run_batch(&mut proto, &mut NullObserver);
+        // Every processed event is a site transition, a link transition,
+        // or an access.
+        assert_eq!(
+            stats.events_processed,
+            stats.site_transitions + stats.link_transitions + stats.accesses_dispatched
+        );
+        // Warm-up (500) + measured (4000) accesses were dispatched.
+        assert_eq!(stats.accesses_dispatched, 4_500);
+        // Every access consulted the component view exactly once (plus
+        // possible SURV probes, disabled here).
+        assert_eq!(
+            stats.cache_hits + stats.cache_recomputations,
+            stats.accesses_dispatched
+        );
+        assert!(stats.site_transitions > 0);
+        assert!(stats.link_transitions > 0);
+    }
+
+    #[test]
     fn cache_is_effective_on_sparse_topologies() {
         let topo = Topology::ring(31);
         let mut sim = Simulation::new(&topo, quick_params(), Workload::uniform(31, 0.5), 4);
@@ -594,8 +611,7 @@ mod tests {
             ..SimParams::paper()
         };
         let base = {
-            let mut sim =
-                Simulation::new(&topo, params, Workload::uniform(15, 0.5), 52);
+            let mut sim = Simulation::new(&topo, params, Workload::uniform(15, 0.5), 52);
             let mut proto = QuorumConsensus::majority(15);
             sim.run_batch(&mut proto, &mut NullObserver).availability()
         };
@@ -657,8 +673,8 @@ mod tests {
             batch_accesses: 60_000,
             ..SimParams::paper()
         };
-        let mut sim = Simulation::new(&topo, params, Workload::uniform(15, 0.5), 44)
-            .time_weighted(true);
+        let mut sim =
+            Simulation::new(&topo, params, Workload::uniform(15, 0.5), 44).time_weighted(true);
         let mut proto = QuorumConsensus::majority(15);
         let stats = sim.run_batch(&mut proto, &mut NullObserver);
         let sampled = stats.access_votes.estimate();
@@ -676,8 +692,8 @@ mod tests {
         let topo = Topology::ring(15);
         let mut params = quick_params();
         params.batch_accesses = 20_000;
-        let mut sim = Simulation::new(&topo, params, Workload::uniform(15, 0.5), 8)
-            .probe_survivability(true);
+        let mut sim =
+            Simulation::new(&topo, params, Workload::uniform(15, 0.5), 8).probe_survivability(true);
         let mut proto = QuorumConsensus::majority(15);
         let stats = sim.run_batch(&mut proto, &mut NullObserver);
         let acc = stats.availability();

@@ -175,8 +175,7 @@ mod tests {
         let topo = Topology::ring_with_chords(11, 3);
         let votes = VoteAssignment::uniform(11);
         let spec = QuorumSpec::majority(11);
-        let rows =
-            sweep_reliability(&topo, &votes, spec, 0.5, &[0.80, 0.90, 0.98], cfg(3));
+        let rows = sweep_reliability(&topo, &votes, spec, 0.5, &[0.80, 0.90, 0.98], cfg(3));
         assert!(rows[0].availability() < rows[1].availability());
         assert!(rows[1].availability() < rows[2].availability());
         assert!((rows[2].x - 0.98).abs() < 1e-12);

@@ -269,7 +269,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = lag1_autocorrelation(&series);
         assert!(r < -0.9, "alternating series should be anticorrelated: {r}");
     }

@@ -257,7 +257,9 @@ mod tests {
     #[test]
     fn effective_window() {
         assert!((DecayedHistogram::new(1, 0.99).effective_window() - 100.0).abs() < 1e-9);
-        assert!(DecayedHistogram::new(1, 1.0).effective_window().is_infinite());
+        assert!(DecayedHistogram::new(1, 1.0)
+            .effective_window()
+            .is_infinite());
     }
 
     #[test]

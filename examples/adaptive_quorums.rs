@@ -31,8 +31,15 @@ fn main() {
         Phase::new(0.95, 25_000),
     ];
 
-    println!("workload phases (read ratio): {:?}", phases.map(|p| p.alpha));
-    println!("network: {} ({} links)\n", topology.name(), topology.num_links());
+    println!(
+        "workload phases (read ratio): {:?}",
+        phases.map(|p| p.alpha)
+    );
+    println!(
+        "network: {} ({} links)\n",
+        topology.name(),
+        topology.num_links()
+    );
 
     // Static majority baseline.
     let mut static_proto = QuorumConsensus::majority(n);

@@ -21,7 +21,10 @@ fn main() {
     let r = 0.99; // bus reliability
     let alpha = 0.90; // read-heavy: the designs differ at loose read quorums
 
-    println!("nine controllers, p = {p}, bus r = {r}, {:.0}% reads\n", alpha * 100.0);
+    println!(
+        "nine controllers, p = {p}, bus r = {r}, {:.0}% reads\n",
+        alpha * 100.0
+    );
 
     for (label, mode, density) in [
         (

@@ -11,8 +11,7 @@
 //! value of each extra replica.
 
 use quorum_core::nonpartition::{
-    model_uniform_access, optimal_votes_exhaustive, optimal_votes_hill_climb,
-    up_vote_distribution,
+    model_uniform_access, optimal_votes_exhaustive, optimal_votes_hill_climb, up_vote_distribution,
 };
 use quorum_core::optimal::{optimal_quorum, SearchStrategy};
 

@@ -78,10 +78,7 @@ fn main() {
     sc.step(&mut qr, Step::Access(Access::Write, 2));
     show("        write at site 2", sc.last());
 
-    println!(
-        "\nevery granted access consistent: {}",
-        sc.all_consistent()
-    );
+    println!("\nevery granted access consistent: {}", sc.all_consistent());
     println!(
         "final assignment: version {}, spec {}",
         qr.global_max_version(),

@@ -45,7 +45,10 @@ fn main() {
     println!("\nbaselines:");
     for (name, spec) in [
         ("majority consensus", QuorumSpec::majority(n as u64)),
-        ("read-one/write-all", QuorumSpec::read_one_write_all(n as u64)),
+        (
+            "read-one/write-all",
+            QuorumSpec::read_one_write_all(n as u64),
+        ),
     ] {
         let a = alpha * model.read_availability(spec.q_r())
             + (1.0 - alpha) * model.write_availability(spec.q_w());

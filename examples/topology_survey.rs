@@ -31,49 +31,49 @@ fn main() {
     println!("alpha  topology        opt-q_r  opt-A    majority-A  ROWA-A   majority-is-worst?");
 
     for &alpha in &[0.5f64, 0.9] {
-    for topo in &topologies {
-        let results = run_static(
-            topo,
-            VoteAssignment::uniform(n),
-            QuorumSpec::from_read_quorum(total / 2, total).expect("valid"),
-            Workload::uniform(n, alpha),
-            RunConfig {
-                params: SimParams {
-                    warmup_accesses: 2_000,
-                    batch_accesses: 40_000,
-                    min_batches: 3,
-                    max_batches: 6,
-                    ci_half_width: 0.01,
-                    ..SimParams::paper()
+        for topo in &topologies {
+            let results = run_static(
+                topo,
+                VoteAssignment::uniform(n),
+                QuorumSpec::from_read_quorum(total / 2, total).expect("valid"),
+                Workload::uniform(n, alpha),
+                RunConfig {
+                    params: SimParams {
+                        warmup_accesses: 2_000,
+                        batch_accesses: 40_000,
+                        min_batches: 3,
+                        max_batches: 6,
+                        ci_half_width: 0.01,
+                        ..SimParams::paper()
+                    },
+                    seed: 23,
+                    threads: 4,
                 },
-                seed: 23,
-                threads: 4,
-            },
-        );
-        let curves = CurveSet::from_run(&results);
-        let model = curves.model(AvailabilityMetric::Accessibility);
-        let opt = curves.optimal(alpha, SearchStrategy::Exhaustive);
+            );
+            let curves = CurveSet::from_run(&results);
+            let model = curves.model(AvailabilityMetric::Accessibility);
+            let opt = curves.optimal(alpha, SearchStrategy::Exhaustive);
 
-        let eval = |spec: QuorumSpec| {
-            alpha * model.read_availability(spec.q_r())
-                + (1.0 - alpha) * model.write_availability(spec.q_w())
-        };
-        let majority = eval(QuorumSpec::majority(total));
-        let rowa = eval(QuorumSpec::read_one_write_all(total));
-        let series = curves.curve(AvailabilityMetric::Accessibility, alpha);
-        let min = series.iter().cloned().fold(f64::MAX, f64::min);
-        let majority_worst = majority <= min + 1e-9;
+            let eval = |spec: QuorumSpec| {
+                alpha * model.read_availability(spec.q_r())
+                    + (1.0 - alpha) * model.write_availability(spec.q_w())
+            };
+            let majority = eval(QuorumSpec::majority(total));
+            let rowa = eval(QuorumSpec::read_one_write_all(total));
+            let series = curves.curve(AvailabilityMetric::Accessibility, alpha);
+            let min = series.iter().cloned().fold(f64::MAX, f64::min);
+            let majority_worst = majority <= min + 1e-9;
 
-        println!(
-            "{alpha:<5}  {:<15} {:>6}   {:>5.1}%   {:>7.1}%   {:>5.1}%   {}",
-            topo.name(),
-            opt.spec.q_r(),
-            100.0 * opt.availability,
-            100.0 * majority,
-            100.0 * rowa,
-            if majority_worst { "yes" } else { "no" },
-        );
-    }
+            println!(
+                "{alpha:<5}  {:<15} {:>6}   {:>5.1}%   {:>7.1}%   {:>5.1}%   {}",
+                topo.name(),
+                opt.spec.q_r(),
+                100.0 * opt.availability,
+                100.0 * majority,
+                100.0 * rowa,
+                if majority_worst { "yes" } else { "no" },
+            );
+        }
     }
 
     println!("\nreading: opt-A is what the Figure-1 optimizer achieves; the gap to the");

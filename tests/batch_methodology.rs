@@ -61,8 +61,7 @@ fn confidence_interval_covers_the_long_run_mean() {
             )
         })
         .collect();
-    let pooled: f64 =
-        runs.iter().map(|r| r.availability()).sum::<f64>() / runs.len() as f64;
+    let pooled: f64 = runs.iter().map(|r| r.availability()).sum::<f64>() / runs.len() as f64;
     let covering = runs
         .iter()
         .filter(|r| r.interval().expect("4 batches").contains(pooled))

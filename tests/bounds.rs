@@ -29,8 +29,8 @@ fn params() -> SimParams {
 
 fn run(proto: &mut dyn DynProtocol, topo: &Topology, seed: u64) -> (f64, f64) {
     let n = topo.num_sites();
-    let mut sim = Simulation::new(topo, params(), Workload::uniform(n, 0.5), seed)
-        .probe_survivability(true);
+    let mut sim =
+        Simulation::new(topo, params(), Workload::uniform(n, 0.5), seed).probe_survivability(true);
     let stats = proto.run(&mut sim);
     (stats.availability(), stats.surv_availability())
 }
@@ -54,10 +54,7 @@ fn no_protocol_beats_site_reliability_on_acc() {
 
     let mut protocols: Vec<(&str, Box<dyn DynProtocol>)> = vec![
         ("majority", Box::new(QuorumConsensus::majority(13))),
-        (
-            "rowa",
-            Box::new(QuorumConsensus::read_one_write_all(13)),
-        ),
+        ("rowa", Box::new(QuorumConsensus::read_one_write_all(13))),
         (
             "optimal-ish",
             Box::new(QuorumConsensus::new(
@@ -99,10 +96,7 @@ fn no_protocol_beats_site_reliability_on_acc() {
             acc <= p + tolerance,
             "{name}: ACC {acc} exceeds the site-reliability bound {p}"
         );
-        assert!(
-            surv >= acc - 1e-3,
-            "{name}: SURV {surv} below ACC {acc}"
-        );
+        assert!(surv >= acc - 1e-3, "{name}: SURV {surv} below ACC {acc}");
         assert!(surv <= 1.0 + 1e-12);
     }
 }

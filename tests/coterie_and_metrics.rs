@@ -3,8 +3,7 @@
 
 use quorum_core::metrics::AvailabilityMetric;
 use quorum_core::{
-    CoterieProtocol, QuorumConsensus, QuorumSpec, ReadWriteCoterie, SearchStrategy,
-    VoteAssignment,
+    CoterieProtocol, QuorumConsensus, QuorumSpec, ReadWriteCoterie, SearchStrategy, VoteAssignment,
 };
 use quorum_des::SimParams;
 use quorum_graph::Topology;

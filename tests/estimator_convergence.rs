@@ -3,9 +3,7 @@
 //! decisions.
 
 use quorum_core::analytic::{fully_connected_density, ring_density};
-use quorum_core::{
-    AvailabilityModel, QuorumSpec, SearchStrategy, SiteEstimators, VoteAssignment,
-};
+use quorum_core::{AvailabilityModel, QuorumSpec, SearchStrategy, SiteEstimators, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
 use quorum_replica::simulation::NullObserver;
@@ -75,8 +73,10 @@ fn estimator_driven_optimizer_matches_analytic_decision() {
         ..SimParams::paper()
     };
     let mut sim = Simulation::new(&topo, params, Workload::uniform(n, 0.5), 9);
-    let mut proto =
-        quorum_core::QuorumConsensus::new(VoteAssignment::uniform(n), QuorumSpec::majority(n as u64));
+    let mut proto = quorum_core::QuorumConsensus::new(
+        VoteAssignment::uniform(n),
+        QuorumSpec::majority(n as u64),
+    );
     let mut rec = Recorder {
         est: SiteEstimators::counting(n, n),
     };
@@ -88,7 +88,8 @@ fn estimator_driven_optimizer_matches_analytic_decision() {
 
     for alpha in [0.0, 0.25, 0.75, 1.0] {
         let e = quorum_core::optimal::optimal_quorum(&est_model, alpha, SearchStrategy::Exhaustive);
-        let t = quorum_core::optimal::optimal_quorum(&true_model, alpha, SearchStrategy::Exhaustive);
+        let t =
+            quorum_core::optimal::optimal_quorum(&true_model, alpha, SearchStrategy::Exhaustive);
         // Compare achieved values under the *true* model (argmax may sit
         // anywhere on a flat top).
         let e_value = alpha * true_model.read_availability(e.spec.q_r())
@@ -164,12 +165,9 @@ fn decayed_estimator_tracks_topology_change() {
         }
     }
 
-    for (phase, topo) in [
-        Topology::ring(n),
-        Topology::ring_with_chords(n, 12),
-    ]
-    .iter()
-    .enumerate()
+    for (phase, topo) in [Topology::ring(n), Topology::ring_with_chords(n, 12)]
+        .iter()
+        .enumerate()
     {
         let mut sim = Simulation::new(topo, params, Workload::uniform(n, 0.5), phase as u64);
         let mut proto = quorum_core::QuorumConsensus::majority(n);
@@ -268,8 +266,7 @@ fn asymmetric_read_write_distributions_shift_the_optimum() {
     // configuration (a read at any up site trivially reaches one vote) —
     // equal up to floating-point accumulation order.
     let a = quorum_core::optimal::optimal_quorum(&reads_at_hub, 1.0, SearchStrategy::Exhaustive);
-    let b =
-        quorum_core::optimal::optimal_quorum(&reads_at_leaves, 1.0, SearchStrategy::Exhaustive);
+    let b = quorum_core::optimal::optimal_quorum(&reads_at_leaves, 1.0, SearchStrategy::Exhaustive);
     assert!((a.availability - b.availability).abs() < 1e-9);
     assert!((a.availability - 0.9).abs() < 1e-9);
 }

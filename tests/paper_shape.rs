@@ -40,8 +40,14 @@ fn availability_at_q_r_one_is_point_96_alpha_for_every_topology() {
         let curves = CurveSet::from_run(&run_scenario(chords, 100 + chords as u64));
         for &alpha in &PAPER_ALPHAS {
             let a = curves.availability(ACC, alpha, 1);
+            // At α = 0 the paper's "essentially never" is not exactly 0:
+            // q_w = 101 means a write succeeds iff the whole network is up
+            // and connected, which happens ≈ 0.96^101 ≈ 1.6% of the time,
+            // and at this reduced scale (~2 failure cycles per batch) the
+            // estimate of that small rate is noisy. Allow the floor.
+            let tol = if alpha == 0.0 { 0.04 } else { 0.02 };
             assert!(
-                (a - 0.96 * alpha).abs() < 0.02,
+                (a - 0.96 * alpha).abs() < tol,
                 "topology {chords}, α={alpha}: A(q_r=1) = {a}, expected ≈ {}",
                 0.96 * alpha
             );

@@ -242,7 +242,13 @@ fn primary_copy_availability_bounded_by_primary_reliability() {
     let mut proto = QuorumConsensus::primary_copy(9, 0);
     let stats = sim.run_batch(&mut proto, &mut NullObserver);
     let a = stats.availability();
-    assert!(a <= 0.97, "availability {a} cannot exceed primary reliability");
-    assert!(a > 0.80, "fully-connected net should usually reach the primary");
+    assert!(
+        a <= 0.97,
+        "availability {a} cannot exceed primary reliability"
+    );
+    assert!(
+        a > 0.80,
+        "fully-connected net should usually reach the primary"
+    );
     assert_eq!(stats.stale_reads, 0);
 }

@@ -157,11 +157,7 @@ fn explore(joint_rule: bool) -> HashSet<Violation> {
                     if idx as u8 == eff_spec || eff_v >= MAX_VERSION {
                         continue;
                     }
-                    let need = if joint_rule {
-                        q_w.max(new_q_w)
-                    } else {
-                        q_w
-                    };
+                    let need = if joint_rule { q_w.max(new_q_w) } else { q_w };
                     if votes < need {
                         continue;
                     }

@@ -1,0 +1,133 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The workspace uses exactly one crossbeam facility: the unbounded MPMC
+//! channel that backs the dynamic work queue in `quorum-bench`. This stub
+//! provides it over `std::sync::mpsc` with a mutex-shared receiver —
+//! semantically equivalent (FIFO, disconnect on all-senders-dropped),
+//! trading crossbeam's lock-free hot path for simplicity.
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when sending into a channel with no receivers.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when every sender has disconnected and the queue is
+    /// drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// The receiving half of an unbounded channel; clones share one queue.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().expect("channel receiver poisoned");
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn multi_consumer_drains_everything() {
+            let (tx, rx) = unbounded::<usize>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut seen: Vec<usize> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                got.push(v);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_after_receivers_dropped_errors() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `Strategy::prop_map`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! seed derived from the test name (no persistence file), and failures
+//! are **not shrunk** — the failing input is printed as-is via the panic
+//! message. For the regression-style properties in this workspace that
+//! trade-off keeps runs fast, hermetic, and reproducible offline.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+#[allow(non_upper_case_globals)]
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Namespaced strategy modules (`prop::collection`, `prop::bool`).
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Property-test analogue of `assert!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test analogue of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test analogue of `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over `cases` generated inputs.
+///
+/// The per-test RNG seed is derived from the test name, so failures
+/// reproduce exactly on re-run; the failing case index and arguments are
+/// reported through the panic payload of the inner assertion.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __seed = $crate::test_runner::seed_from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::case_rng(__seed, __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0.0f64..1.0, b in prop::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1usize..4).prop_map(|k| k * 10)) {
+            prop_assert!(n == 10 || n == 20 || n == 30);
+        }
+
+        #[test]
+        fn tuples_and_just(pair in (0u8..3, prop::bool::ANY), c in Just(7i32)) {
+            prop_assert!(pair.0 < 3);
+            prop_assert_eq!(c, 7);
+        }
+    }
+
+    #[test]
+    fn default_macro_form_runs() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u8..2) {
+                prop_assert!(x < 2);
+            }
+        }
+        inner();
+    }
+}
