@@ -1,0 +1,973 @@
+//! The actor-style cluster engine: one deterministic event loop in which
+//! every site is a state machine exchanging typed messages.
+//!
+//! ## Execution model
+//!
+//! Each batch runs the same §5.2 stochastic environment as the
+//! instantaneous simulator — identical failure renewal processes,
+//! identical Poisson access stream, identical workload sampling, all on
+//! the same derived RNG streams — but resolves each access through a
+//! multi-message quorum-gathering *session*:
+//!
+//! 1. the submitting site (coordinator) opens a session, pledges its own
+//!    votes, and broadcasts [`Payload::VoteRequest`];
+//! 2. reachable sites answer with [`Payload::ReadValue`] /
+//!    [`Payload::VoteGrant`] (or [`Payload::VoteDeny`] if they hold a
+//!    newer assignment epoch);
+//! 3. reads commit when pledged votes reach `q_r`; writes additionally
+//!    run a commit phase ([`Payload::WriteCommit`] →
+//!    [`Payload::CommitAck`]) and commit when acks reach `q_w`;
+//! 4. a cancellable per-session timer drives bounded exponential-backoff
+//!    retries; exhausted retries resolve [`Outcome::TimedOut`], a down
+//!    coordinator resolves [`Outcome::Unavailable`].
+//!
+//! Messages cross the topology's connectivity: a message is delivered
+//! iff sender and receiver are up and mutually reachable *at the
+//! delivery instant* (see [`crate::net`]).
+//!
+//! ## Degeneracy
+//!
+//! Under [`ClusterConfig::ideal`] (zero latency, zero loss, no retries)
+//! the whole cascade of a session collapses onto its dispatch instant:
+//! the FIFO tie-break of the event queue processes every request and
+//! reply before simulated time advances, so a session commits exactly
+//! when the instantaneous simulator would grant — access for access,
+//! not merely in distribution. `tests/cluster_degeneracy.rs` asserts
+//! this against [`quorum_replica::Simulation`] on ring, fully-connected,
+//! and bus topologies.
+
+use crate::checker::FreshnessChecker;
+use crate::config::ClusterConfig;
+use crate::message::{Message, Payload, SessionId, Version, NO_SESSION};
+use crate::stats::{ClusterStats, Outcome};
+use quorum_core::reassign::SiteAssignment;
+use quorum_core::{Access, QuorumSpec, VoteAssignment};
+use quorum_des::{EventKey, EventQueue, PoissonProcess, SimTime};
+use quorum_graph::{ComponentCache, NetworkState, Topology};
+use quorum_replica::failure::FailureProcesses;
+use quorum_replica::Workload;
+use quorum_stats::rng::{derive_seed, rng_from_seed};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One scheduled event of the cluster event loop.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    SiteTransition(usize),
+    LinkTransition(usize),
+    Access,
+    Deliver(Message),
+    SessionTimeout(SessionId),
+    Install(usize),
+}
+
+/// Which part of a session is gathering votes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Phase 1: gathering `ReadValue`/`VoteGrant` pledges.
+    Gather,
+    /// Phase 2 (writes only): gathering `CommitAck`s.
+    Commit,
+}
+
+/// Coordinator-side state of one in-flight session.
+#[derive(Debug, Clone)]
+struct Session {
+    origin: usize,
+    kind: Access,
+    submitted_at: SimTime,
+    measured_index: Option<u64>,
+    round: u32,
+    phase: Phase,
+    votes: u64,
+    contributed: Vec<bool>,
+    max_version: Version,
+    new_version: Version,
+    floor: Version,
+    spec: QuorumSpec,
+    epoch: u64,
+    timer: EventKey,
+}
+
+/// Durable per-site replica state.
+#[derive(Debug, Clone, Copy)]
+struct SiteState {
+    version: Version,
+    assignment: SiteAssignment,
+}
+
+/// The message-level cluster simulation of one topology.
+///
+/// Mirrors [`quorum_replica::Simulation`]'s construction and batching
+/// surface so callers can run both against identical environments.
+pub struct ClusterEngine<'a> {
+    topology: &'a Topology,
+    config: ClusterConfig,
+    votes: VoteAssignment,
+    initial_spec: QuorumSpec,
+    workload: Workload,
+    master_seed: u64,
+    batches_run: u64,
+    site_reliabilities: Option<Vec<f64>>,
+    link_reliabilities: Option<Vec<f64>>,
+}
+
+impl<'a> ClusterEngine<'a> {
+    /// Creates an engine with uniform one-vote-per-site assignment.
+    pub fn new(
+        topology: &'a Topology,
+        config: ClusterConfig,
+        spec: QuorumSpec,
+        workload: Workload,
+        master_seed: u64,
+    ) -> Self {
+        Self::with_votes(
+            topology,
+            config,
+            spec,
+            VoteAssignment::uniform(topology.num_sites()),
+            workload,
+            master_seed,
+        )
+    }
+
+    /// Creates an engine with an explicit vote assignment.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions, an invalid configuration, or a
+    /// spec/install script that is not jointly safe (see
+    /// [`crate::config::jointly_safe`]).
+    pub fn with_votes(
+        topology: &'a Topology,
+        config: ClusterConfig,
+        spec: QuorumSpec,
+        votes: VoteAssignment,
+        workload: Workload,
+        master_seed: u64,
+    ) -> Self {
+        config.validate(spec, topology.num_sites());
+        assert_eq!(
+            votes.num_sites(),
+            topology.num_sites(),
+            "vote assignment must cover every site"
+        );
+        assert_eq!(
+            workload.num_sites(),
+            topology.num_sites(),
+            "workload must cover every site"
+        );
+        assert_eq!(
+            spec.total(),
+            votes.total(),
+            "quorum spec must match the vote total"
+        );
+        Self {
+            topology,
+            config,
+            votes,
+            initial_spec: spec,
+            workload,
+            master_seed,
+            batches_run: 0,
+            site_reliabilities: None,
+            link_reliabilities: None,
+        }
+    }
+
+    /// Overrides per-site reliabilities (same semantics as
+    /// [`quorum_replica::Simulation::with_site_reliabilities`]).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or probabilities outside `(0, 1)`.
+    pub fn with_site_reliabilities(mut self, reliabilities: Vec<f64>) -> Self {
+        assert_eq!(
+            reliabilities.len(),
+            self.topology.num_sites(),
+            "one reliability per site"
+        );
+        for &p in &reliabilities {
+            assert!(p > 0.0 && p < 1.0, "site reliability must lie in (0,1)");
+        }
+        self.site_reliabilities = Some(reliabilities);
+        self
+    }
+
+    /// Overrides per-link reliabilities.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or probabilities outside `(0, 1)`.
+    pub fn with_link_reliabilities(mut self, reliabilities: Vec<f64>) -> Self {
+        assert_eq!(
+            reliabilities.len(),
+            self.topology.num_links(),
+            "one reliability per link"
+        );
+        for &p in &reliabilities {
+            assert!(p > 0.0 && p < 1.0, "link reliability must lie in (0,1)");
+        }
+        self.link_reliabilities = Some(reliabilities);
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs the next batch (auto-incrementing batch index).
+    pub fn run_batch(&mut self) -> ClusterStats {
+        let i = self.batches_run;
+        self.batches_run += 1;
+        self.run_indexed_batch(i)
+    }
+
+    /// Runs one warm-up + measurement batch with an explicit index. The
+    /// batch dispatches `warmup + batch_accesses` accesses, then keeps
+    /// processing events until every open session has resolved.
+    pub fn run_indexed_batch(&mut self, batch_index: u64) -> ClusterStats {
+        let n = self.topology.num_sites();
+        let m = self.topology.num_links();
+        let seed = derive_seed(self.master_seed, batch_index);
+
+        // Streams 1–3 are identical to the instantaneous simulator's;
+        // stream 4 is new and feeds only the network (loss/latency), so
+        // an ideal network leaves the shared streams bit-for-bit aligned.
+        let fail_rng: StdRng = rng_from_seed(derive_seed(seed, 1));
+        let access_rng: StdRng = rng_from_seed(derive_seed(seed, 2));
+        let workload_rng: StdRng = rng_from_seed(derive_seed(seed, 3));
+        let net_rng: StdRng = rng_from_seed(derive_seed(seed, 4));
+
+        let mut procs = FailureProcesses::new(
+            &self.config.params,
+            n,
+            m,
+            self.site_reliabilities.as_deref(),
+            self.link_reliabilities.as_deref(),
+        );
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut fail_rng = fail_rng;
+        procs.schedule_initial(
+            &mut queue,
+            &mut fail_rng,
+            Event::SiteTransition,
+            Event::LinkTransition,
+        );
+        let access_proc = PoissonProcess::new(n as f64 / self.config.params.mu_access);
+        let mut access_rng = access_rng;
+        queue.schedule(
+            SimTime::new(access_proc.next_gap(&mut access_rng)),
+            Event::Access,
+        );
+        for (i, step) in self.config.installs.iter().enumerate() {
+            queue.schedule(SimTime::new(step.at), Event::Install(i));
+        }
+
+        let mut stats = ClusterStats::new(&self.config.latency_bounds);
+        if self.config.record_outcomes {
+            stats.outcomes = vec![None; self.config.params.batch_accesses as usize];
+        }
+
+        let warmup = self.config.params.warmup_accesses;
+        let target = warmup + self.config.params.batch_accesses;
+
+        let mut batch = Batch {
+            topology: self.topology,
+            votes: &self.votes,
+            config: &self.config,
+            queue,
+            state: NetworkState::all_up(self.topology),
+            cache: ComponentCache::new(),
+            procs,
+            fail_rng,
+            access_rng,
+            workload_rng,
+            net_rng,
+            access_proc,
+            workload: self.workload.clone(),
+            sites: vec![
+                SiteState {
+                    version: 0,
+                    assignment: SiteAssignment {
+                        version: 0,
+                        spec: self.initial_spec,
+                    },
+                };
+                n
+            ],
+            sessions: HashMap::new(),
+            next_session: NO_SESSION + 1,
+            checker: FreshnessChecker::new(),
+            stats,
+            warmup,
+            target,
+            accesses_seen: 0,
+            measured_start: None,
+            now: SimTime::ZERO,
+        };
+
+        while batch.accesses_seen < target || !batch.sessions.is_empty() {
+            let (t, ev) = batch.queue.pop().expect("regenerative streams never drain");
+            batch.now = t;
+            match ev {
+                Event::SiteTransition(i) => {
+                    batch.stats.site_transitions += 1;
+                    let (up, gap) = batch.procs.site_transition(i, &mut batch.fail_rng);
+                    if batch.state.set_site(i, up) {
+                        batch.cache.invalidate();
+                    }
+                    batch.queue.schedule_in(gap, Event::SiteTransition(i));
+                }
+                Event::LinkTransition(i) => {
+                    batch.stats.link_transitions += 1;
+                    let (up, gap) = batch.procs.link_transition(i, &mut batch.fail_rng);
+                    if batch.state.set_link(i, up) {
+                        batch.cache.invalidate();
+                    }
+                    batch.queue.schedule_in(gap, Event::LinkTransition(i));
+                }
+                Event::Access => batch.dispatch_access(),
+                Event::Deliver(msg) => batch.deliver(msg),
+                Event::SessionTimeout(id) => batch.session_timeout(id),
+                Event::Install(idx) => batch.scripted_install(idx),
+            }
+        }
+
+        let mut stats = batch.stats;
+        stats.events_processed = batch.queue.popped();
+        stats.timers_cancelled = batch.queue.cancelled();
+        stats.freshness_violations = batch.checker.violations();
+        if let Some(start) = batch.measured_start {
+            stats.measured_duration = batch.now - start;
+        }
+        stats
+    }
+}
+
+/// All mutable state of one running batch.
+struct Batch<'a> {
+    topology: &'a Topology,
+    votes: &'a VoteAssignment,
+    config: &'a ClusterConfig,
+    queue: EventQueue<Event>,
+    state: NetworkState,
+    cache: ComponentCache,
+    procs: FailureProcesses,
+    fail_rng: StdRng,
+    access_rng: StdRng,
+    workload_rng: StdRng,
+    net_rng: StdRng,
+    access_proc: PoissonProcess,
+    workload: Workload,
+    sites: Vec<SiteState>,
+    sessions: HashMap<SessionId, Session>,
+    next_session: SessionId,
+    checker: FreshnessChecker,
+    stats: ClusterStats,
+    warmup: u64,
+    target: u64,
+    accesses_seen: u64,
+    measured_start: Option<SimTime>,
+    now: SimTime,
+}
+
+impl Batch<'_> {
+    /// Sends a message: Bernoulli loss at the sender, latency-delayed
+    /// delivery otherwise.
+    fn send(&mut self, from: usize, to: usize, session: SessionId, payload: Payload) {
+        self.stats.messages_sent += 1;
+        if self.config.net.loss > 0.0 && self.net_rng.random::<f64>() < self.config.net.loss {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let latency = self.config.net.latency.sample(&mut self.net_rng);
+        self.queue.schedule_in(
+            latency,
+            Event::Deliver(Message {
+                from,
+                to,
+                session,
+                payload,
+            }),
+        );
+    }
+
+    fn record_outcome(&mut self, index: Option<u64>, kind: Access, outcome: Outcome) {
+        if self.config.record_outcomes {
+            if let Some(i) = index {
+                self.stats.outcomes[i as usize] = Some((kind, outcome));
+            }
+        }
+    }
+
+    /// Handles an access arrival: sample the workload, open a session
+    /// (or resolve `Unavailable` if the origin is down), broadcast the
+    /// vote requests, and arm the session timer.
+    fn dispatch_access(&mut self) {
+        self.accesses_seen += 1;
+        if self.accesses_seen < self.target {
+            let gap = self.access_proc.next_gap(&mut self.access_rng);
+            self.queue.schedule_in(gap, Event::Access);
+        }
+        let (kind, origin) = self.workload.sample(&mut self.workload_rng);
+        let measured = self.accesses_seen > self.warmup;
+        let measured_index = measured.then(|| self.accesses_seen - self.warmup - 1);
+        if measured {
+            if self.measured_start.is_none() {
+                self.measured_start = Some(self.now);
+            }
+            match kind {
+                Access::Read => self.stats.reads_submitted += 1,
+                Access::Write => self.stats.writes_submitted += 1,
+            }
+        }
+        if !self.state.site_up(origin) {
+            if measured {
+                match kind {
+                    Access::Read => self.stats.reads_unavailable += 1,
+                    Access::Write => self.stats.writes_unavailable += 1,
+                }
+            }
+            self.record_outcome(measured_index, kind, Outcome::Unavailable);
+            return;
+        }
+
+        let id = self.next_session;
+        self.next_session += 1;
+        self.stats.sessions_opened += 1;
+        let assignment = self.sites[origin].assignment;
+        let own = self.votes.votes_of(origin);
+        let n = self.topology.num_sites();
+        let mut contributed = vec![false; n];
+        contributed[origin] = true;
+        let timer = self
+            .queue
+            .schedule_cancellable_in(self.config.timeout_for(0), Event::SessionTimeout(id));
+        self.sessions.insert(
+            id,
+            Session {
+                origin,
+                kind,
+                submitted_at: self.now,
+                measured_index,
+                round: 0,
+                phase: Phase::Gather,
+                votes: own,
+                contributed,
+                max_version: self.sites[origin].version,
+                new_version: 0,
+                floor: self.checker.floor(),
+                spec: assignment.spec,
+                epoch: assignment.version,
+                timer,
+            },
+        );
+        for peer in (0..n).filter(|&p| p != origin) {
+            self.send(
+                origin,
+                peer,
+                id,
+                Payload::VoteRequest {
+                    kind,
+                    epoch: assignment.version,
+                    epoch_spec: assignment.spec,
+                },
+            );
+        }
+        // Single-site quorum (e.g. ROWA reads, weighted coordinators).
+        if own >= assignment.spec.threshold(kind) {
+            self.quorum_reached(id);
+        }
+    }
+
+    /// Processes a delivery: drop if the endpoints are not mutually
+    /// reachable at this instant, else run the receiving actor's step.
+    fn deliver(&mut self, msg: Message) {
+        let connected = {
+            let view = self
+                .cache
+                .view(self.topology, &self.state, self.votes.as_slice());
+            view.connected(msg.from, msg.to)
+        };
+        if !connected {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        let site = msg.to;
+        match msg.payload {
+            Payload::VoteRequest {
+                kind,
+                epoch,
+                epoch_spec,
+            } => {
+                let known = self.sites[site].assignment.version;
+                if epoch > known {
+                    // Piggybacked propagation: lagging sites catch up
+                    // from ordinary traffic.
+                    self.sites[site].assignment = SiteAssignment {
+                        version: epoch,
+                        spec: epoch_spec,
+                    };
+                    self.stats.installs_applied += 1;
+                } else if known > epoch {
+                    let a = self.sites[site].assignment;
+                    self.send(
+                        site,
+                        msg.from,
+                        msg.session,
+                        Payload::VoteDeny {
+                            epoch: a.version,
+                            epoch_spec: a.spec,
+                        },
+                    );
+                    return;
+                }
+                let votes = self.votes.votes_of(site);
+                let version = self.sites[site].version;
+                let reply = match kind {
+                    Access::Read => Payload::ReadValue { votes, version },
+                    Access::Write => Payload::VoteGrant { votes, version },
+                };
+                self.send(site, msg.from, msg.session, reply);
+            }
+            Payload::ReadValue { votes, version } | Payload::VoteGrant { votes, version } => {
+                self.vote_received(msg.session, msg.from, votes, version);
+            }
+            Payload::VoteDeny { epoch, epoch_spec } => {
+                if epoch > self.sites[site].assignment.version {
+                    self.sites[site].assignment = SiteAssignment {
+                        version: epoch,
+                        spec: epoch_spec,
+                    };
+                    self.stats.installs_applied += 1;
+                }
+            }
+            Payload::WriteCommit { version } => {
+                if version > self.sites[site].version {
+                    self.sites[site].version = version;
+                }
+                let votes = self.votes.votes_of(site);
+                self.send(site, msg.from, msg.session, Payload::CommitAck { votes });
+            }
+            Payload::CommitAck { votes } => {
+                self.ack_received(msg.session, msg.from, votes);
+            }
+            Payload::Install { epoch, epoch_spec } => {
+                if epoch > self.sites[site].assignment.version {
+                    self.sites[site].assignment = SiteAssignment {
+                        version: epoch,
+                        spec: epoch_spec,
+                    };
+                    self.stats.installs_applied += 1;
+                }
+            }
+        }
+    }
+
+    /// A phase-1 pledge arrived at the coordinator.
+    fn vote_received(&mut self, id: SessionId, from: usize, votes: u64, version: Version) {
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return; // session already resolved; stale reply
+        };
+        if s.phase != Phase::Gather || s.contributed[from] {
+            return;
+        }
+        s.contributed[from] = true;
+        s.votes += votes;
+        s.max_version = s.max_version.max(version);
+        if s.votes >= s.spec.threshold(s.kind) {
+            self.quorum_reached(id);
+        }
+    }
+
+    /// A phase-2 ack arrived at the coordinator.
+    fn ack_received(&mut self, id: SessionId, from: usize, votes: u64) {
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if s.phase != Phase::Commit || s.contributed[from] {
+            return;
+        }
+        s.contributed[from] = true;
+        s.votes += votes;
+        if s.votes >= s.spec.q_w() {
+            let s = self.sessions.remove(&id).expect("session present");
+            self.resolve_committed(s);
+        }
+    }
+
+    /// Phase-1 votes reached the threshold: reads commit, writes enter
+    /// (or — under the unsafe ablation — skip) the commit phase.
+    fn quorum_reached(&mut self, id: SessionId) {
+        let kind = self.sessions.get(&id).expect("session present").kind;
+        match kind {
+            Access::Read => {
+                let s = self.sessions.remove(&id).expect("session present");
+                self.resolve_committed(s);
+            }
+            Access::Write if self.config.commit_on_grant => {
+                // UNSAFE ablation: client told "committed" before any
+                // replica durably holds the new version. The freshness
+                // checker exists to catch exactly this.
+                let mut s = self.sessions.remove(&id).expect("session present");
+                s.new_version = s.max_version + 1;
+                let (origin, version) = (s.origin, s.new_version);
+                self.sites[origin].version = self.sites[origin].version.max(version);
+                let n = self.topology.num_sites();
+                for peer in (0..n).filter(|&p| p != origin) {
+                    self.send(origin, peer, id, Payload::WriteCommit { version });
+                }
+                self.resolve_committed(s);
+            }
+            Access::Write => {
+                let (origin, version, own, q_w) = {
+                    let s = self.sessions.get_mut(&id).expect("session present");
+                    s.new_version = s.max_version + 1;
+                    s.phase = Phase::Commit;
+                    let origin = s.origin;
+                    let own = self.votes.votes_of(origin);
+                    s.votes = own;
+                    s.contributed.fill(false);
+                    s.contributed[origin] = true;
+                    (origin, s.new_version, own, s.spec.q_w())
+                };
+                // The coordinator is a replica too: it adopts first.
+                self.sites[origin].version = self.sites[origin].version.max(version);
+                let n = self.topology.num_sites();
+                for peer in (0..n).filter(|&p| p != origin) {
+                    self.send(origin, peer, id, Payload::WriteCommit { version });
+                }
+                if own >= q_w {
+                    let s = self.sessions.remove(&id).expect("session present");
+                    self.resolve_committed(s);
+                }
+            }
+        }
+    }
+
+    /// Session timer fired: retry (with backoff and a refreshed
+    /// assignment) or resolve `TimedOut`.
+    fn session_timeout(&mut self, id: SessionId) {
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return; // cancelled timers never fire; defensive only
+        };
+        let origin = s.origin;
+        if s.round >= self.config.max_retries || !self.state.site_up(origin) {
+            let s = self.sessions.remove(&id).expect("session present");
+            self.resolve_timed_out(s);
+            return;
+        }
+        s.round += 1;
+        // Adopt whatever assignment the coordinator has learned since —
+        // VoteDeny replies carrying newer epochs land here.
+        let assignment = self.sites[origin].assignment;
+        s.epoch = assignment.version;
+        s.spec = assignment.spec;
+        s.timer = self
+            .queue
+            .schedule_cancellable_in(self.config.timeout_for(s.round), Event::SessionTimeout(id));
+        let (phase, kind, epoch, spec, version) = (s.phase, s.kind, s.epoch, s.spec, s.new_version);
+        let pending: Vec<usize> = s
+            .contributed
+            .iter()
+            .enumerate()
+            .filter(|&(p, &c)| !c && p != origin)
+            .map(|(p, _)| p)
+            .collect();
+        self.stats.retries += 1;
+        for peer in pending {
+            match phase {
+                Phase::Gather => self.send(
+                    origin,
+                    peer,
+                    id,
+                    Payload::VoteRequest {
+                        kind,
+                        epoch,
+                        epoch_spec: spec,
+                    },
+                ),
+                Phase::Commit => self.send(origin, peer, id, Payload::WriteCommit { version }),
+            }
+        }
+    }
+
+    /// Executes a scripted install: the origin (if up) adopts the new
+    /// assignment and broadcasts it. Epochs follow script order.
+    fn scripted_install(&mut self, idx: usize) {
+        let step = self.config.installs[idx];
+        if !self.state.site_up(step.origin) {
+            return; // a down origin skips its install
+        }
+        let epoch = (idx + 1) as u64;
+        if epoch > self.sites[step.origin].assignment.version {
+            self.sites[step.origin].assignment = SiteAssignment {
+                version: epoch,
+                spec: step.spec,
+            };
+            self.stats.installs_applied += 1;
+        }
+        let n = self.topology.num_sites();
+        for peer in (0..n).filter(|&p| p != step.origin) {
+            self.send(
+                step.origin,
+                peer,
+                NO_SESSION,
+                Payload::Install {
+                    epoch,
+                    epoch_spec: step.spec,
+                },
+            );
+        }
+    }
+
+    fn resolve_committed(&mut self, s: Session) {
+        self.queue.cancel(s.timer);
+        let latency = self.now - s.submitted_at;
+        match s.kind {
+            Access::Read => {
+                self.checker.on_read_committed(s.floor, s.max_version);
+                if s.measured_index.is_some() {
+                    self.stats.reads_committed += 1;
+                    self.stats.read_latency.record(latency);
+                }
+            }
+            Access::Write => {
+                self.checker.on_write_committed(s.new_version);
+                if s.measured_index.is_some() {
+                    self.stats.writes_committed += 1;
+                    self.stats.write_latency.record(latency);
+                }
+            }
+        }
+        self.record_outcome(s.measured_index, s.kind, Outcome::Committed);
+    }
+
+    fn resolve_timed_out(&mut self, s: Session) {
+        self.queue.cancel(s.timer);
+        if s.measured_index.is_some() {
+            match s.kind {
+                Access::Read => self.stats.reads_timed_out += 1,
+                Access::Write => self.stats.writes_timed_out += 1,
+            }
+        }
+        self.record_outcome(s.measured_index, s.kind, Outcome::TimedOut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InstallStep;
+    use crate::net::{LatencyDist, NetConfig};
+    use quorum_des::SimParams;
+
+    fn quick_params() -> SimParams {
+        SimParams {
+            warmup_accesses: 300,
+            batch_accesses: 3_000,
+            ..SimParams::paper()
+        }
+    }
+
+    #[test]
+    fn ideal_cluster_matches_high_availability() {
+        let topo = Topology::fully_connected(9);
+        let mut eng = ClusterEngine::new(
+            &topo,
+            ClusterConfig::ideal(quick_params()),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            3,
+        );
+        let stats = eng.run_batch();
+        assert_eq!(stats.submitted(), 3_000);
+        assert!(stats.availability() > 0.9, "{}", stats.availability());
+        assert_eq!(stats.freshness_violations, 0);
+        assert_eq!(stats.retries, 0, "no retries configured");
+        assert!(stats.messages_sent > 0);
+        // Messages still queued when the batch drains (late replies to
+        // already-resolved sessions) are neither delivered nor dropped.
+        assert!(stats.messages_delivered + stats.messages_dropped <= stats.messages_sent);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Topology::ring(9);
+        let run = |seed| {
+            let mut eng = ClusterEngine::new(
+                &topo,
+                ClusterConfig::new(quick_params()),
+                QuorumSpec::majority(9),
+                Workload::uniform(9, 0.5),
+                seed,
+            );
+            let s = eng.run_batch();
+            (
+                s.reads_committed,
+                s.writes_committed,
+                s.messages_sent,
+                s.events_processed,
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn latency_shows_up_in_histograms() {
+        let topo = Topology::fully_connected(7);
+        let mut cfg = ClusterConfig::new(quick_params());
+        cfg.net = NetConfig {
+            latency: LatencyDist::Constant(0.05),
+            loss: 0.0,
+        };
+        // Bucket edges chosen off the exact hop sums (0.10, 0.20), which
+        // float rounding can land on either side of.
+        cfg.latency_bounds = vec![0.09, 0.15, 0.3];
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(7),
+            Workload::uniform(7, 0.5),
+            5,
+        );
+        let stats = eng.run_batch();
+        // A retry-free read needs request + reply: 2 hops of 0.05, the
+        // [0.09, 0.15) bucket; retried sessions add timeout-sized
+        // latencies but are a small minority.
+        let reads = stats.read_latency.observations();
+        assert!(reads > 0);
+        assert!(stats.read_latency.counts()[1] as f64 > 0.8 * reads as f64);
+        assert!(stats.read_latency.mean() >= 0.099);
+        // A retry-free write needs request + grant + commit + ack: 4 hops
+        // of 0.05, the [0.15, 0.3) bucket.
+        let writes = stats.write_latency.observations();
+        assert!(stats.write_latency.counts()[2] as f64 > 0.8 * writes as f64);
+        assert!(stats.write_latency.mean() >= 0.199);
+        assert!(stats.goodput() > 0.0);
+    }
+
+    #[test]
+    fn loss_triggers_retries_and_safe_commits() {
+        let topo = Topology::fully_connected(9);
+        let mut cfg = ClusterConfig::new(quick_params());
+        cfg.net = NetConfig {
+            latency: LatencyDist::Constant(0.02),
+            loss: 0.25,
+        };
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            7,
+        );
+        let stats = eng.run_batch();
+        assert!(stats.retries > 0, "25% loss must force retries");
+        assert!(stats.messages_dropped > 0);
+        assert!(stats.availability() > 0.5, "{}", stats.availability());
+        assert_eq!(
+            stats.freshness_violations, 0,
+            "two-phase commit keeps reads fresh under loss"
+        );
+        assert!(stats.timers_cancelled > 0, "commits void their timers");
+    }
+
+    #[test]
+    fn installs_propagate_and_stay_safe() {
+        let topo = Topology::fully_connected(10);
+        let mut cfg = ClusterConfig::new(quick_params());
+        cfg.net = NetConfig {
+            latency: LatencyDist::Constant(0.02),
+            loss: 0.10,
+        };
+        cfg.installs = vec![InstallStep {
+            at: 50.0,
+            origin: 0,
+            spec: QuorumSpec::new(5, 7, 10).unwrap(),
+        }];
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(10),
+            Workload::uniform(10, 0.5),
+            9,
+        );
+        let stats = eng.run_batch();
+        assert!(
+            stats.installs_applied >= 5,
+            "install must reach most sites (got {})",
+            stats.installs_applied
+        );
+        assert_eq!(stats.freshness_violations, 0);
+    }
+
+    #[test]
+    fn commit_on_grant_ablation_is_caught_by_the_checker() {
+        // Lossy network + unsafe early commit: the client hears
+        // "committed" while WriteCommits are still dropping. Later reads
+        // land on stale replicas and the checker must notice.
+        let topo = Topology::fully_connected(9);
+        let mut cfg = ClusterConfig::new(quick_params());
+        cfg.net = NetConfig {
+            latency: LatencyDist::Constant(0.05),
+            loss: 0.4,
+        };
+        cfg.commit_on_grant = true;
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            13,
+        );
+        let stats = eng.run_batch();
+        assert!(
+            stats.freshness_violations > 0,
+            "unsafe commit under 40% loss must produce stale reads"
+        );
+    }
+
+    #[test]
+    fn outcome_sequence_covers_every_measured_access() {
+        let topo = Topology::ring(9);
+        let mut cfg = ClusterConfig::ideal(quick_params());
+        cfg.record_outcomes = true;
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            17,
+        );
+        let stats = eng.run_batch();
+        assert_eq!(stats.outcomes.len(), 3_000);
+        assert!(stats.outcomes.iter().all(Option::is_some));
+        let committed = stats
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Some((_, Outcome::Committed))))
+            .count() as u64;
+        assert_eq!(committed, stats.committed());
+    }
+
+    #[test]
+    fn batches_are_independent_streams() {
+        let topo = Topology::ring(9);
+        let mut eng = ClusterEngine::new(
+            &topo,
+            ClusterConfig::ideal(quick_params()),
+            QuorumSpec::majority(9),
+            Workload::uniform(9, 0.5),
+            3,
+        );
+        let a = eng.run_batch();
+        let b = eng.run_batch();
+        assert_ne!(
+            (a.reads_committed, a.writes_committed),
+            (b.reads_committed, b.writes_committed)
+        );
+    }
+}

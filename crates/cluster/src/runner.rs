@@ -1,0 +1,243 @@
+//! Multi-batch cluster runs with batch-means confidence intervals,
+//! mirroring the §5.2 methodology of [`quorum_replica::runner`].
+
+use crate::config::ClusterConfig;
+use crate::engine::ClusterEngine;
+use crate::stats::ClusterStats;
+use quorum_core::{QuorumSpec, VoteAssignment};
+use quorum_graph::Topology;
+use quorum_obs::{keys, CiPoint, Registry, RunManifest};
+use quorum_replica::Workload;
+use quorum_stats::BatchMeans;
+use quorum_stats::ConfidenceInterval;
+
+/// Aggregated result of a converged multi-batch cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResults {
+    /// Batches executed.
+    pub batches: u64,
+    /// Batch-means accumulator over per-batch ACC.
+    pub acc: BatchMeans,
+    /// Merged raw statistics over all batches.
+    pub combined: ClusterStats,
+    /// CI-convergence trace (one point per round).
+    pub ci_trace: Vec<CiPoint>,
+}
+
+impl ClusterRunResults {
+    /// Point estimate of ACC.
+    pub fn availability(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Confidence interval over batch means (`None` below 2 batches).
+    pub fn interval(&self) -> Option<ConfidenceInterval> {
+        self.acc.interval()
+    }
+
+    /// True iff no committed read was stale in any batch.
+    pub fn is_fresh(&self) -> bool {
+        self.combined.freshness_violations == 0
+    }
+
+    /// Copies counters, ACC metrics, and both latency histograms into a
+    /// manifest (counters also land in `registry`-sourced snapshots when
+    /// the caller absorbs one; this method writes directly).
+    pub fn fill_manifest(&self, manifest: &mut RunManifest) {
+        manifest.batches = self.batches;
+        manifest.ci_trace = self.ci_trace.clone();
+        manifest.set_metric("cluster.availability", self.availability());
+        manifest.set_metric(
+            "cluster.read_availability",
+            self.combined.read_availability(),
+        );
+        manifest.set_metric(
+            "cluster.write_availability",
+            self.combined.write_availability(),
+        );
+        manifest.set_metric("cluster.goodput", self.combined.goodput());
+        manifest.set_metric(
+            "cluster.read_latency_mean",
+            self.combined.read_latency.mean(),
+        );
+        manifest.set_metric(
+            "cluster.write_latency_mean",
+            self.combined.write_latency.mean(),
+        );
+        if let Some(ci) = self.interval() {
+            manifest.set_metric("cluster.ci_half_width", ci.half_width);
+        }
+        manifest
+            .histograms
+            .push(self.combined.read_latency.to_record("cluster.read_latency"));
+        manifest.histograms.push(
+            self.combined
+                .write_latency
+                .to_record("cluster.write_latency"),
+        );
+        for (key, value) in [
+            (keys::CLUSTER_MESSAGES_SENT, self.combined.messages_sent),
+            (
+                keys::CLUSTER_MESSAGES_DELIVERED,
+                self.combined.messages_delivered,
+            ),
+            (
+                keys::CLUSTER_MESSAGES_DROPPED,
+                self.combined.messages_dropped,
+            ),
+            (keys::CLUSTER_SESSIONS, self.combined.sessions_opened),
+            (keys::CLUSTER_RETRIES, self.combined.retries),
+            (keys::CLUSTER_COMMITTED, self.combined.committed()),
+            (
+                keys::CLUSTER_TIMED_OUT,
+                self.combined.reads_timed_out + self.combined.writes_timed_out,
+            ),
+            (
+                keys::CLUSTER_UNAVAILABLE,
+                self.combined.reads_unavailable + self.combined.writes_unavailable,
+            ),
+            (
+                keys::CLUSTER_TIMERS_CANCELLED,
+                self.combined.timers_cancelled,
+            ),
+        ] {
+            *manifest.counters.entry(key.to_string()).or_insert(0) += value;
+        }
+    }
+}
+
+/// Runs cluster batches until the ACC confidence interval converges
+/// (between `min_batches` and `max_batches` from the config's params),
+/// publishing counters into `registry`.
+pub fn run_cluster_observed(
+    topology: &Topology,
+    config: &ClusterConfig,
+    spec: QuorumSpec,
+    votes: VoteAssignment,
+    workload: Workload,
+    seed: u64,
+    registry: &Registry,
+) -> ClusterRunResults {
+    let _timer = registry.scoped_timer("cluster.run");
+    let params = config.params;
+    let mut engine =
+        ClusterEngine::with_votes(topology, config.clone(), spec, votes, workload, seed);
+    let mut acc = BatchMeans::new(params.confidence, params.ci_half_width, params.min_batches);
+    let mut combined = ClusterStats::new(&config.latency_bounds);
+    let mut ci_trace = Vec::new();
+
+    for index in 0..params.max_batches {
+        let stats = engine.run_indexed_batch(index);
+        acc.push_batch(stats.availability());
+        combined.merge(&stats);
+        if let Some(ci) = acc.interval() {
+            ci_trace.push(CiPoint {
+                batches: acc.batches(),
+                mean: acc.mean(),
+                half_width: ci.half_width,
+            });
+        }
+        if acc.is_converged() {
+            break;
+        }
+    }
+
+    registry.add(keys::RUN_BATCHES, acc.batches());
+    combined.observe_into(registry);
+    ClusterRunResults {
+        batches: acc.batches(),
+        acc,
+        combined,
+        ci_trace,
+    }
+}
+
+/// [`run_cluster_observed`] without a registry.
+pub fn run_cluster(
+    topology: &Topology,
+    config: &ClusterConfig,
+    spec: QuorumSpec,
+    votes: VoteAssignment,
+    workload: Workload,
+    seed: u64,
+) -> ClusterRunResults {
+    run_cluster_observed(
+        topology,
+        config,
+        spec,
+        votes,
+        workload,
+        seed,
+        &Registry::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_des::SimParams;
+
+    fn tiny(seed: u64) -> (ClusterConfig, u64) {
+        let params = SimParams {
+            warmup_accesses: 200,
+            batch_accesses: 2_000,
+            min_batches: 3,
+            max_batches: 5,
+            ci_half_width: 0.05,
+            ..SimParams::paper()
+        };
+        (ClusterConfig::ideal(params), seed)
+    }
+
+    #[test]
+    fn converged_run_reports_interval_and_manifest() {
+        let topo = Topology::ring(9);
+        let (cfg, seed) = tiny(4);
+        let registry = Registry::new();
+        let res = run_cluster_observed(
+            &topo,
+            &cfg,
+            QuorumSpec::majority(9),
+            VoteAssignment::uniform(9),
+            Workload::uniform(9, 0.5),
+            seed,
+            &registry,
+        );
+        assert!(res.batches >= 3);
+        assert!(res.interval().is_some());
+        assert!(res.availability() > 0.0 && res.availability() < 1.0);
+        assert!(res.is_fresh());
+
+        let mut manifest = RunManifest::new("cluster_sim", seed);
+        res.fill_manifest(&mut manifest);
+        manifest.absorb_snapshot(&registry.snapshot());
+        assert_eq!(manifest.histograms.len(), 2);
+        assert!(manifest.metrics.contains_key("cluster.availability"));
+        assert_eq!(
+            manifest.counter(keys::CLUSTER_SESSIONS),
+            2 * res.combined.sessions_opened,
+            "fill_manifest + snapshot absorption both contribute"
+        );
+        // Round-trips through JSON with the histograms intact.
+        let back = RunManifest::parse(&manifest.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back.histograms, manifest.histograms);
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let topo = Topology::ring(9);
+        let (cfg, _) = tiny(0);
+        let run = |seed| {
+            let r = run_cluster(
+                &topo,
+                &cfg,
+                QuorumSpec::majority(9),
+                VoteAssignment::uniform(9),
+                Workload::uniform(9, 0.5),
+                seed,
+            );
+            (r.batches, r.combined.committed(), r.combined.messages_sent)
+        };
+        assert_eq!(run(8), run(8));
+    }
+}

@@ -152,6 +152,18 @@ impl QuorumSpec {
         self.total
     }
 
+    /// The quorum an access of `kind` must collect (`q_r` for reads,
+    /// `q_w` for writes). Shared by the instantaneous simulator's
+    /// vote-collection accounting and the message-level cluster engine's
+    /// session threshold.
+    #[inline]
+    pub fn threshold(&self, kind: crate::protocol::Access) -> u64 {
+        match kind {
+            crate::protocol::Access::Read => self.q_r,
+            crate::protocol::Access::Write => self.q_w,
+        }
+    }
+
     /// May a read proceed with `votes` collectable?
     #[inline]
     pub fn read_granted(&self, votes: u64) -> bool {

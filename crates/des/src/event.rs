@@ -2,7 +2,7 @@
 
 use crate::time::SimTime;
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// One scheduled entry.
 #[derive(Debug, Clone)]
@@ -31,17 +31,35 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Handle to a cancellable entry returned by
+/// [`EventQueue::schedule_cancellable`]. Passing it to
+/// [`EventQueue::cancel`] voids the entry: it stays in the heap but is
+/// silently skipped when its turn comes (void-on-pop), so cancellation is
+/// O(1) and never perturbs the order of surviving events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
 /// A deterministic future-event list.
 ///
 /// Events pop in non-decreasing time order; simultaneous events pop in
 /// insertion (FIFO) order, which keeps simulations reproducible across runs
 /// regardless of heap internals.
+///
+/// Entries scheduled through [`EventQueue::schedule_cancellable`] can be
+/// invalidated later (session timeouts that were beaten by a reply); a
+/// cancelled entry is skipped on pop without advancing the clock or
+/// counting as a processed event.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
     popped: u64,
     now: SimTime,
+    /// Seq numbers of cancellable entries still in the heap.
+    live_keys: HashSet<u64>,
+    /// Seq numbers cancelled but not yet reaped from the heap.
+    voided: HashSet<u64>,
+    cancelled: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -52,6 +70,9 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             popped: 0,
             now: SimTime::ZERO,
+            live_keys: HashSet::new(),
+            voided: HashSet::new(),
+            cancelled: 0,
         }
     }
 
@@ -76,17 +97,63 @@ impl<E> EventQueue<E> {
         self.schedule(t, payload);
     }
 
-    /// Pops the earliest event, advancing the clock to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(ev) = self.heap.pop()?;
-        self.now = ev.time;
-        self.popped += 1;
-        Some((ev.time, ev.payload))
+    /// Schedules `payload` at absolute time `time` and returns a key that
+    /// can later [`EventQueue::cancel`] the entry (e.g. a session timeout
+    /// that a quorum of replies may beat).
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time (causality).
+    pub fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventKey {
+        let key = EventKey(self.next_seq);
+        self.schedule(time, payload);
+        self.live_keys.insert(key.0);
+        key
     }
 
-    /// Timestamp of the next event without popping.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(ev)| ev.time)
+    /// Schedules a cancellable `payload` at `now + dt`.
+    pub fn schedule_cancellable_in(&mut self, dt: f64, payload: E) -> EventKey {
+        let t = self.now + dt;
+        self.schedule_cancellable(t, payload)
+    }
+
+    /// Voids a cancellable entry. Returns `true` if the entry was still
+    /// pending (not yet popped or previously cancelled); the entry is then
+    /// skipped silently when the heap reaches it.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let was_live = self.live_keys.remove(&key.0);
+        if was_live {
+            self.voided.insert(key.0);
+            self.cancelled += 1;
+        }
+        was_live
+    }
+
+    /// Pops the earliest surviving event, advancing the clock to its
+    /// timestamp. Cancelled entries are reaped without advancing the clock
+    /// or counting toward [`EventQueue::popped`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let Reverse(ev) = self.heap.pop()?;
+            if self.voided.remove(&ev.seq) {
+                continue;
+            }
+            self.live_keys.remove(&ev.seq);
+            self.now = ev.time;
+            self.popped += 1;
+            return Some((ev.time, ev.payload));
+        }
+    }
+
+    /// Timestamp of the next surviving event without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek().map(|Reverse(ev)| ev.seq)?;
+            if self.voided.remove(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            return self.heap.peek().map(|Reverse(ev)| ev.time);
+        }
     }
 
     /// Current simulation time (time of the last popped event).
@@ -94,14 +161,19 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.voided.len()
     }
 
-    /// True if no events are pending.
+    /// True if no non-cancelled events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Total entries cancelled over the queue's lifetime.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// Total events scheduled over the queue's lifetime.
@@ -205,6 +277,71 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.is_empty());
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn cancel_before_pop_voids_entry() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), "keep-a");
+        let key = q.schedule_cancellable(SimTime::new(2.0), "timer");
+        q.schedule(SimTime::new(3.0), "keep-b");
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(key));
+        assert!(!q.cancel(key), "double-cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancelled(), 1);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["keep-a", "keep-b"]);
+        // The voided entry never counted as processed.
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn cancelled_entry_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        let key = q.schedule_cancellable(SimTime::new(5.0), "timer");
+        q.schedule(SimTime::new(9.0), "real");
+        q.cancel(key);
+        let (t, p) = q.pop().unwrap();
+        assert_eq!(p, "real");
+        assert_eq!(t, SimTime::new(9.0));
+        assert_eq!(q.now(), SimTime::new(9.0));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_rejected() {
+        let mut q = EventQueue::new();
+        let key = q.schedule_cancellable(SimTime::new(1.0), "timer");
+        assert_eq!(q.pop().unwrap().1, "timer");
+        assert!(!q.cancel(key), "already delivered");
+        assert_eq!(q.cancelled(), 0);
+    }
+
+    #[test]
+    fn cancellable_ties_keep_fifo_order() {
+        // Cancellable and plain entries at the same timestamp pop in
+        // insertion order, and voiding one of them never reorders the
+        // survivors.
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..6 {
+            keys.push(q.schedule_cancellable(SimTime::new(4.0), i));
+        }
+        q.schedule(SimTime::new(4.0), 6);
+        q.cancel(keys[1]);
+        q.cancel(keys[4]);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![0, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_entries() {
+        let mut q = EventQueue::new();
+        let key = q.schedule_cancellable(SimTime::new(1.0), "timer");
+        q.schedule(SimTime::new(2.0), "real");
+        q.cancel(key);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop().unwrap().1, "real");
     }
 
     #[test]

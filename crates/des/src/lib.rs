@@ -26,7 +26,7 @@ pub mod params;
 pub mod poisson;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventKey, EventQueue};
 pub use failure::{DurationDist, OnOffProcess};
 pub use params::SimParams;
 pub use poisson::PoissonProcess;

@@ -100,6 +100,20 @@ impl Topology {
         Self::from_links(n, links, format!("star-{n}"))
     }
 
+    /// A single-bus network of `sites` database sites expressed over the
+    /// point-to-point machinery: node 0 models the shared medium (the bus)
+    /// and nodes `1..=sites` are the database sites, each attached to the
+    /// medium by one link. When the medium node fails every site is
+    /// isolated — the §4.2 sites-independent bus. Callers give node 0 zero
+    /// votes and zero workload weight so it never counts or submits.
+    ///
+    /// Returns `sites + 1` nodes; the medium is index 0.
+    pub fn bus(sites: usize) -> Self {
+        assert!(sites >= 2, "a bus needs at least 2 sites");
+        let links = (1..=sites).map(|i| (0, i)).collect();
+        Self::from_links(sites + 1, links, format!("bus-{sites}"))
+    }
+
     /// A `rows × cols` grid.
     pub fn grid(rows: usize, cols: usize) -> Self {
         assert!(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
@@ -343,6 +357,18 @@ mod tests {
         for s in 0..5 {
             assert_eq!(t.degree(s), 2);
         }
+    }
+
+    #[test]
+    fn bus_shape() {
+        let t = Topology::bus(7);
+        assert_eq!(t.num_sites(), 8, "7 sites + the medium node");
+        assert_eq!(t.num_links(), 7, "one attachment per site");
+        assert_eq!(t.degree(0), 7, "the medium reaches every site");
+        for s in 1..8 {
+            assert_eq!(t.degree(s), 1);
+        }
+        assert_eq!(t.name(), "bus-7");
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod manifest;
 pub mod registry;
 
 pub use json::JsonValue;
-pub use manifest::{CiPoint, PhaseTiming, RunManifest, SimParamsRecord, TopologyRecord};
+pub use manifest::{
+    CiPoint, HistogramRecord, PhaseTiming, RunManifest, SimParamsRecord, TopologyRecord,
+};
 pub use registry::{Counter, Registry, ScopedTimer, Snapshot};
 
 /// Conventional metric names shared by the instrumented crates, so that
@@ -55,4 +57,22 @@ pub mod keys {
     pub const ESTIMATOR_OBSERVATIONS: &str = "core.estimator.observations";
     /// Objective evaluations spent by optimizer argmax sweeps.
     pub const OPTIMIZER_EVALUATIONS: &str = "core.optimizer.evaluations";
+    /// Messages sent by cluster sites (all types, including retries).
+    pub const CLUSTER_MESSAGES_SENT: &str = "cluster.messages_sent";
+    /// Messages delivered to their destination site.
+    pub const CLUSTER_MESSAGES_DELIVERED: &str = "cluster.messages_delivered";
+    /// Messages dropped (Bernoulli loss or partitioned at delivery time).
+    pub const CLUSTER_MESSAGES_DROPPED: &str = "cluster.messages_dropped";
+    /// Quorum sessions (read or write) started, excluding retries.
+    pub const CLUSTER_SESSIONS: &str = "cluster.sessions";
+    /// Retry rounds dispatched after a session timeout.
+    pub const CLUSTER_RETRIES: &str = "cluster.retries";
+    /// Sessions resolved `Committed`.
+    pub const CLUSTER_COMMITTED: &str = "cluster.committed";
+    /// Sessions resolved `TimedOut` after exhausting retries.
+    pub const CLUSTER_TIMED_OUT: &str = "cluster.timed_out";
+    /// Sessions resolved `Unavailable` (coordinator down at dispatch).
+    pub const CLUSTER_UNAVAILABLE: &str = "cluster.unavailable";
+    /// Session timers voided before firing (session resolved first).
+    pub const CLUSTER_TIMERS_CANCELLED: &str = "cluster.timers_cancelled";
 }

@@ -74,6 +74,30 @@ pub struct CiPoint {
     pub half_width: f64,
 }
 
+/// A named bucketed histogram, e.g. a session-latency distribution from
+/// the message-level cluster engine.
+///
+/// Buckets are defined by `bounds` (ascending upper edges): `counts[i]`
+/// observations fell in `[bounds[i-1], bounds[i])` (with `bounds[-1] = 0`),
+/// and `counts` has one extra trailing entry for the overflow bucket
+/// `[bounds.last(), ∞)`, so `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramRecord {
+    /// Histogram name, e.g. `"cluster.read_latency"`.
+    pub name: String,
+    /// Ascending bucket upper edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (one more than `bounds`).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramRecord {
+    /// Total observations across all buckets.
+    pub fn observations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Wall-clock spent in one named phase of the run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseTiming {
@@ -104,6 +128,10 @@ pub struct RunManifest {
     pub ci_trace: Vec<CiPoint>,
     /// Per-phase wall-clock timings.
     pub phases: Vec<PhaseTiming>,
+    /// Named bucketed histograms (latency distributions and the like).
+    /// Absent in manifests written before this field existed; parsing
+    /// treats a missing key as empty.
+    pub histograms: Vec<HistogramRecord>,
     /// Counter values (DES events, cache hits/recomputes, …), keyed by
     /// the [`crate::keys`] names.
     pub counters: BTreeMap<String, u64>,
@@ -231,6 +259,28 @@ impl RunManifest {
             ),
         );
 
+        root.insert(
+            "histograms",
+            JsonValue::Array(
+                self.histograms
+                    .iter()
+                    .map(|h| {
+                        let mut o = JsonValue::object();
+                        o.insert("name", JsonValue::Str(h.name.clone()));
+                        o.insert(
+                            "bounds",
+                            JsonValue::Array(h.bounds.iter().map(|&b| JsonValue::Num(b)).collect()),
+                        );
+                        o.insert(
+                            "counts",
+                            JsonValue::Array(h.counts.iter().map(|&c| JsonValue::Int(c)).collect()),
+                        );
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+
         let mut counters = JsonValue::object();
         for (name, &value) in &self.counters {
             counters.insert(name, JsonValue::Int(value));
@@ -328,6 +378,38 @@ impl RunManifest {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        // Tolerant: manifests written before this field existed parse as
+        // having no histograms.
+        let histograms = match doc.get("histograms") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("histograms not an array")?
+                .iter()
+                .map(|h| {
+                    let bounds = h
+                        .get("bounds")
+                        .and_then(JsonValue::as_array)
+                        .ok_or("histogram missing 'bounds'")?
+                        .iter()
+                        .map(|b| b.as_f64().ok_or("bound not a number"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let counts = h
+                        .get("counts")
+                        .and_then(JsonValue::as_array)
+                        .ok_or("histogram missing 'counts'")?
+                        .iter()
+                        .map(|c| c.as_u64().ok_or("count not an integer"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(HistogramRecord {
+                        name: str_field(h, "name")?,
+                        bounds,
+                        counts,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+
         let counters = match get("counters")? {
             JsonValue::Object(map) => map
                 .iter()
@@ -361,6 +443,7 @@ impl RunManifest {
             batches: u64_field(doc, "batches")?,
             ci_trace,
             phases,
+            histograms,
             counters,
             metrics,
         })
@@ -431,6 +514,11 @@ mod tests {
             seconds: 1.25,
             activations: 1,
         }];
+        m.histograms = vec![HistogramRecord {
+            name: "cluster.read_latency".into(),
+            bounds: vec![0.5, 1.0, 2.0],
+            counts: vec![10, 25, 7, 1],
+        }];
         m.counters.insert(crate::keys::DES_EVENTS.into(), 1_000);
         m.counters.insert(crate::keys::CACHE_HITS.into(), 900);
         m.metrics.insert("availability".into(), 0.945);
@@ -465,6 +553,27 @@ mod tests {
         assert!((m.phase_secs("simulate") - 0.25).abs() < 1e-9);
         assert_eq!(m.phases[0].activations, 1);
         assert_eq!(m.metrics["threads.utilization"], 0.8);
+    }
+
+    #[test]
+    fn manifests_without_histograms_still_parse() {
+        // Backwards compatibility: pre-histogram manifests omit the key.
+        let mut doc = sample().to_json();
+        if let JsonValue::Object(map) = &mut doc {
+            map.remove("histograms");
+        }
+        let back = RunManifest::from_json(&doc).unwrap();
+        assert!(back.histograms.is_empty());
+        let mut expected = sample();
+        expected.histograms.clear();
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn histogram_observations_sum_counts() {
+        let h = sample().histograms[0].clone();
+        assert_eq!(h.observations(), 43);
+        assert_eq!(h.counts.len(), h.bounds.len() + 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod adaptive;
 pub mod bus_sim;
 pub mod curves;
+pub mod failure;
 pub mod object;
 pub mod results;
 pub mod runner;
@@ -39,6 +40,7 @@ pub mod sweep;
 pub mod workload;
 
 pub use curves::CurveSet;
+pub use failure::FailureProcesses;
 pub use object::SerializabilityChecker;
 pub use results::{BatchStats, RunResults};
 pub use runner::{run_static, run_static_observed, RunConfig};

@@ -13,12 +13,13 @@
 //! The first `warmup_accesses` accesses after the all-up initial state are
 //! discarded; the next `batch_accesses` are measured.
 
+use crate::failure::FailureProcesses;
 use crate::object::SerializabilityChecker;
 use crate::results::BatchStats;
 use crate::workload::Workload;
 use quorum_core::protocol::{ConsistencyProtocol, Decision};
 use quorum_core::{Access, VoteAssignment};
-use quorum_des::{EventQueue, OnOffProcess, PoissonProcess, SimParams, SimTime};
+use quorum_des::{EventQueue, PoissonProcess, SimParams, SimTime};
 use quorum_graph::{ComponentCache, NetworkState, Topology};
 use quorum_stats::rng::{derive_seed, rng_from_seed};
 use quorum_stats::VoteHistogram;
@@ -243,40 +244,22 @@ impl<'a> Simulation<'a> {
         let mut checker = SerializabilityChecker::new(n);
         let mut stats = BatchStats::new(n, total_votes);
 
-        let component_process =
-            OnOffProcess::from_reliability(self.params.reliability, self.params.mu_fail())
-                .with_distributions(self.params.fail_dist, self.params.repair_dist);
-        let mut site_procs: Vec<OnOffProcess> = match &self.site_reliabilities {
-            None => vec![component_process; n],
-            Some(rels) => rels
-                .iter()
-                .map(|&p| {
-                    OnOffProcess::from_reliability(p, self.params.mu_fail())
-                        .with_distributions(self.params.fail_dist, self.params.repair_dist)
-                })
-                .collect(),
-        };
-        let mut link_procs: Vec<OnOffProcess> = match &self.link_reliabilities {
-            None => vec![component_process; m],
-            Some(rels) => rels
-                .iter()
-                .map(|&p| {
-                    OnOffProcess::from_reliability(p, self.params.mu_fail())
-                        .with_distributions(self.params.fail_dist, self.params.repair_dist)
-                })
-                .collect(),
-        };
+        let mut procs = FailureProcesses::new(
+            &self.params,
+            n,
+            m,
+            self.site_reliabilities.as_deref(),
+            self.link_reliabilities.as_deref(),
+        );
 
         let mut queue: EventQueue<Event> = EventQueue::new();
         // Schedule the first transition of every component.
-        for (i, p) in site_procs.iter_mut().enumerate() {
-            let (gap, _) = p.next_transition(&mut fail_rng);
-            queue.schedule(SimTime::new(gap), Event::SiteTransition(i));
-        }
-        for (i, p) in link_procs.iter_mut().enumerate() {
-            let (gap, _) = p.next_transition(&mut fail_rng);
-            queue.schedule(SimTime::new(gap), Event::LinkTransition(i));
-        }
+        procs.schedule_initial(
+            &mut queue,
+            &mut fail_rng,
+            Event::SiteTransition,
+            Event::LinkTransition,
+        );
         // Aggregate access process: rate n/μ_t.
         let access_proc = PoissonProcess::new(n as f64 / self.params.mu_access);
         queue.schedule(
@@ -306,20 +289,18 @@ impl<'a> Simulation<'a> {
             match ev {
                 Event::SiteTransition(i) => {
                     stats.site_transitions += 1;
-                    let up = site_procs[i].is_up();
+                    let (up, gap) = procs.site_transition(i, &mut fail_rng);
                     if state.set_site(i, up) {
                         cache.invalidate();
                     }
-                    let (gap, _) = site_procs[i].next_transition(&mut fail_rng);
                     queue.schedule_in(gap, Event::SiteTransition(i));
                 }
                 Event::LinkTransition(i) => {
                     stats.link_transitions += 1;
-                    let up = link_procs[i].is_up();
+                    let (up, gap) = procs.link_transition(i, &mut fail_rng);
                     if state.set_link(i, up) {
                         cache.invalidate();
                     }
-                    let (gap, _) = link_procs[i].next_transition(&mut fail_rng);
                     queue.schedule_in(gap, Event::LinkTransition(i));
                 }
                 Event::Access => {
@@ -358,10 +339,7 @@ impl<'a> Simulation<'a> {
                         // (largest votes first); a denied access polls the
                         // whole component before giving up.
                         let spec = protocol.effective_spec(&members_buf);
-                        let threshold = match kind {
-                            Access::Read => spec.q_r(),
-                            Access::Write => spec.q_w(),
-                        };
+                        let threshold = spec.threshold(kind);
                         stats.contact_messages += if decision.is_granted() {
                             let mut vote_counts: Vec<u64> = members_buf
                                 .iter()
