@@ -26,7 +26,9 @@
 //!            --seed 11 --quick --sweep --ideal --manifest run.json]
 
 use quorum_bench::{default_threads, manifest, pct, print_table, run_jobs, Args, Scale};
-use quorum_cluster::{run_cluster, run_cluster_observed, ClusterConfig, LatencyDist, NetConfig};
+use quorum_cluster::{
+    run_cluster, run_cluster_observed, ClusterConfig, LatencyDist, NetConfig, RunOptions,
+};
 use quorum_core::{QuorumSpec, VoteAssignment};
 use quorum_graph::Topology;
 use quorum_obs::{Registry, RunManifest};
@@ -88,9 +90,10 @@ fn single_run(args: &Args, scale: Scale, seed: u64) {
     let qr: u64 = args.get_or("qr", total / 2);
     let spec = QuorumSpec::from_read_quorum(qr, total).expect("legal --qr for this vote total");
     let cfg = config_for(args, scale);
+    let threads = args.get_or("threads", default_threads());
 
     println!(
-        "# Cluster run | {} alpha={alpha} q=({},{})/{} latency={:?} loss={} timeout={} retries={} scale={} seed={seed}",
+        "# Cluster run | {} alpha={alpha} q=({},{})/{} latency={:?} loss={} timeout={} retries={} scale={} seed={seed} threads={threads}",
         topo.name(),
         spec.q_r(),
         spec.q_w(),
@@ -103,7 +106,17 @@ fn single_run(args: &Args, scale: Scale, seed: u64) {
     );
 
     let registry = Registry::new();
-    let res = run_cluster_observed(&topo, &cfg, spec, votes.clone(), workload, seed, &registry);
+    let started = std::time::Instant::now();
+    let res = run_cluster_observed(
+        &topo,
+        &cfg,
+        spec,
+        votes.clone(),
+        workload,
+        RunOptions::threaded(seed, threads),
+        &registry,
+    );
+    let wall = started.elapsed();
     let ci = res
         .interval()
         .map(|ci| format!("±{:.2}%", 100.0 * ci.half_width))
@@ -152,6 +165,14 @@ fn single_run(args: &Args, scale: Scale, seed: u64) {
         vec![
             "freshness violations".into(),
             format!("{}", c.freshness_violations),
+        ],
+        vec![
+            "wall clock".into(),
+            format!(
+                "{:.2}s on {threads} thread(s), utilization {:.0}%",
+                wall.as_secs_f64(),
+                100.0 * registry.snapshot().gauges["cluster.thread_utilization"],
+            ),
         ],
     ];
     print_table(&["metric", "value"], &rows);

@@ -45,5 +45,5 @@ pub use config::{jointly_safe, ClusterConfig, InstallStep};
 pub use engine::ClusterEngine;
 pub use message::{Message, Payload, SessionId, Version, NO_SESSION};
 pub use net::{LatencyDist, NetConfig};
-pub use runner::{run_cluster, run_cluster_observed, ClusterRunResults};
+pub use runner::{run_cluster, run_cluster_observed, ClusterRunResults, RunOptions};
 pub use stats::{ClusterStats, LatencyHistogram, Outcome};

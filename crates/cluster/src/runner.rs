@@ -1,5 +1,12 @@
 //! Multi-batch cluster runs with batch-means confidence intervals,
 //! mirroring the §5.2 methodology of [`quorum_replica::runner`].
+//!
+//! Batches run on the shared [`quorum_stats::converge`] orchestrator:
+//! every batch constructs a **fresh** [`ClusterEngine`] and derives its
+//! RNG streams from `(seed, batch index)` alone, so batches can fan out
+//! over worker threads and merge back in index order — thread count
+//! never changes any reported number (see
+//! `sequential_and_parallel_agree_exactly`).
 
 use crate::config::ClusterConfig;
 use crate::engine::ClusterEngine;
@@ -8,8 +15,32 @@ use quorum_core::{QuorumSpec, VoteAssignment};
 use quorum_graph::Topology;
 use quorum_obs::{keys, CiPoint, Registry, RunManifest};
 use quorum_replica::Workload;
+use quorum_stats::converge;
 use quorum_stats::BatchMeans;
 use quorum_stats::ConfidenceInterval;
+
+/// Execution options of a multi-batch cluster run (the simulation
+/// parameters live in [`ClusterConfig::params`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Master seed; batch `i` derives its streams from `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (1 = sequential). Batches beyond `min_batches`
+    /// are added in rounds of `threads` until the CI converges.
+    pub threads: usize,
+}
+
+impl RunOptions {
+    /// Sequential run with the given seed.
+    pub fn sequential(seed: u64) -> Self {
+        Self { seed, threads: 1 }
+    }
+
+    /// Parallel run with the given seed and worker count.
+    pub fn threaded(seed: u64, threads: usize) -> Self {
+        Self { seed, threads }
+    }
+}
 
 /// Aggregated result of a converged multi-batch cluster run.
 #[derive(Debug, Clone)]
@@ -20,7 +51,9 @@ pub struct ClusterRunResults {
     pub acc: BatchMeans,
     /// Merged raw statistics over all batches.
     pub combined: ClusterStats,
-    /// CI-convergence trace (one point per round).
+    /// CI-convergence trace (one point per counted batch from the
+    /// second on — same granularity as the replica runner's, since both
+    /// come from [`quorum_stats::converge`]).
     pub ci_trace: Vec<CiPoint>,
 }
 
@@ -40,9 +73,15 @@ impl ClusterRunResults {
         self.combined.freshness_violations == 0
     }
 
-    /// Copies counters, ACC metrics, and both latency histograms into a
-    /// manifest (counters also land in `registry`-sourced snapshots when
-    /// the caller absorbs one; this method writes directly).
+    /// Copies batch count, CI trace, ACC metrics, and both latency
+    /// histograms into a manifest.
+    ///
+    /// Counters are deliberately **not** written here: the registry
+    /// snapshot is their single owner ([`run_cluster_observed`]
+    /// publishes them via [`ClusterStats::observe_into`], and
+    /// [`RunManifest::absorb_snapshot`] copies them into the manifest).
+    /// Writing them from both paths double-counted every `cluster.*`
+    /// counter in emitted manifests.
     pub fn fill_manifest(&self, manifest: &mut RunManifest) {
         manifest.batches = self.batches;
         manifest.ci_trace = self.ci_trace.clone();
@@ -75,84 +114,60 @@ impl ClusterRunResults {
                 .write_latency
                 .to_record("cluster.write_latency"),
         );
-        for (key, value) in [
-            (keys::CLUSTER_MESSAGES_SENT, self.combined.messages_sent),
-            (
-                keys::CLUSTER_MESSAGES_DELIVERED,
-                self.combined.messages_delivered,
-            ),
-            (
-                keys::CLUSTER_MESSAGES_DROPPED,
-                self.combined.messages_dropped,
-            ),
-            (keys::CLUSTER_SESSIONS, self.combined.sessions_opened),
-            (keys::CLUSTER_RETRIES, self.combined.retries),
-            (keys::CLUSTER_COMMITTED, self.combined.committed()),
-            (
-                keys::CLUSTER_TIMED_OUT,
-                self.combined.reads_timed_out + self.combined.writes_timed_out,
-            ),
-            (
-                keys::CLUSTER_UNAVAILABLE,
-                self.combined.reads_unavailable + self.combined.writes_unavailable,
-            ),
-            (
-                keys::CLUSTER_TIMERS_CANCELLED,
-                self.combined.timers_cancelled,
-            ),
-        ] {
-            *manifest.counters.entry(key.to_string()).or_insert(0) += value;
-        }
     }
 }
 
 /// Runs cluster batches until the ACC confidence interval converges
 /// (between `min_batches` and `max_batches` from the config's params),
 /// publishing counters into `registry`.
+///
+/// Each batch runs a fresh [`ClusterEngine`] on `opts.threads` worker
+/// threads; results are merged deterministically by batch index.
 pub fn run_cluster_observed(
     topology: &Topology,
     config: &ClusterConfig,
     spec: QuorumSpec,
     votes: VoteAssignment,
     workload: Workload,
-    seed: u64,
+    opts: RunOptions,
     registry: &Registry,
 ) -> ClusterRunResults {
     let _timer = registry.scoped_timer("cluster.run");
-    let params = config.params;
-    let mut engine =
-        ClusterEngine::with_votes(topology, config.clone(), spec, votes, workload, seed);
-    let mut acc = BatchMeans::new(params.confidence, params.ci_half_width, params.min_batches);
     let mut combined = ClusterStats::new(&config.latency_bounds);
-    let mut ci_trace = Vec::new();
 
-    for index in 0..params.max_batches {
-        let stats = engine.run_indexed_batch(index);
-        acc.push_batch(stats.availability());
-        combined.merge(&stats);
-        if let Some(ci) = acc.interval() {
-            ci_trace.push(CiPoint {
-                batches: acc.batches(),
-                mean: acc.mean(),
-                half_width: ci.half_width,
-            });
-        }
-        if acc.is_converged() {
-            break;
-        }
-    }
+    let conv = converge(
+        &config.params.converge_params(opts.threads),
+        |index| {
+            let mut engine = ClusterEngine::with_votes(
+                topology,
+                config.clone(),
+                spec,
+                votes.clone(),
+                workload.clone(),
+                opts.seed,
+            );
+            engine.run_indexed_batch(index)
+        },
+        ClusterStats::availability,
+        |_, stats, elapsed| {
+            combined.merge(&stats);
+            registry.record_duration("cluster.batch", elapsed);
+        },
+    );
 
-    registry.add(keys::RUN_BATCHES, acc.batches());
+    registry.add(keys::RUN_BATCHES, conv.batches);
+    registry.set_gauge(keys::RUN_THREADS, opts.threads.max(1) as f64);
+    registry.set_gauge("cluster.thread_utilization", conv.utilization());
     combined.observe_into(registry);
     ClusterRunResults {
-        batches: acc.batches(),
-        acc,
+        batches: conv.batches,
+        acc: conv.acc,
         combined,
-        ci_trace,
+        ci_trace: quorum_des::ci_points(&conv.trace),
     }
 }
 
-/// [`run_cluster_observed`] without a registry.
+/// [`run_cluster_observed`] without a registry, sequential.
 pub fn run_cluster(
     topology: &Topology,
     config: &ClusterConfig,
@@ -167,7 +182,7 @@ pub fn run_cluster(
         spec,
         votes,
         workload,
-        seed,
+        RunOptions::sequential(seed),
         &Registry::new(),
     )
 }
@@ -200,7 +215,7 @@ mod tests {
             QuorumSpec::majority(9),
             VoteAssignment::uniform(9),
             Workload::uniform(9, 0.5),
-            seed,
+            RunOptions::sequential(seed),
             &registry,
         );
         assert!(res.batches >= 3);
@@ -213,10 +228,24 @@ mod tests {
         manifest.absorb_snapshot(&registry.snapshot());
         assert_eq!(manifest.histograms.len(), 2);
         assert!(manifest.metrics.contains_key("cluster.availability"));
+        // The registry snapshot is the single owner of counters, so the
+        // manifest carries every total exactly once.
         assert_eq!(
             manifest.counter(keys::CLUSTER_SESSIONS),
-            2 * res.combined.sessions_opened,
-            "fill_manifest + snapshot absorption both contribute"
+            res.combined.sessions_opened
+        );
+        assert_eq!(
+            manifest.counter(keys::CLUSTER_COMMITTED),
+            res.combined.committed()
+        );
+        assert_eq!(
+            manifest.counter(keys::CLUSTER_MESSAGES_SENT),
+            res.combined.messages_sent
+        );
+        assert_eq!(
+            manifest.counter(keys::CLUSTER_READS_SUBMITTED)
+                + manifest.counter(keys::CLUSTER_WRITES_SUBMITTED),
+            res.combined.submitted()
         );
         // Round-trips through JSON with the histograms intact.
         let back = RunManifest::parse(&manifest.to_json().to_string_pretty()).unwrap();
@@ -239,5 +268,86 @@ mod tests {
             (r.batches, r.combined.committed(), r.combined.messages_sent)
         };
         assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        // Pin the batch count so the convergence loop cannot add batches
+        // in different-sized rounds; per-batch results depend only on
+        // (seed, batch index) and merge in index order, so every number
+        // must then match bit-for-bit across thread counts.
+        let topo = Topology::ring(9);
+        let (mut cfg, seed) = tiny(6);
+        cfg.params.max_batches = 4;
+        cfg.params.min_batches = 4;
+        let run = |threads| {
+            run_cluster_observed(
+                &topo,
+                &cfg,
+                QuorumSpec::majority(9),
+                VoteAssignment::uniform(9),
+                Workload::uniform(9, 0.5),
+                RunOptions::threaded(seed, threads),
+                &Registry::new(),
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.batches, par.batches);
+        assert_eq!(seq.availability(), par.availability());
+        assert_eq!(seq.combined.committed(), par.combined.committed());
+        assert_eq!(seq.combined.messages_sent, par.combined.messages_sent);
+        assert_eq!(seq.combined.events_processed, par.combined.events_processed);
+        assert_eq!(seq.ci_trace, par.ci_trace);
+    }
+
+    #[test]
+    fn fresh_engine_batch_matches_reused_engine() {
+        // The parallel runner builds a new engine per batch; pin that a
+        // fresh engine's indexed batch is bit-identical to re-running
+        // the same index on a long-lived engine.
+        let topo = Topology::ring(9);
+        let (cfg, seed) = tiny(12);
+        let spec = QuorumSpec::majority(9);
+        let votes = VoteAssignment::uniform(9);
+        let wl = Workload::uniform(9, 0.5);
+        let mut reused =
+            ClusterEngine::with_votes(&topo, cfg.clone(), spec, votes.clone(), wl.clone(), seed);
+        for index in [0u64, 1, 3] {
+            let a = reused.run_indexed_batch(index);
+            let mut fresh = ClusterEngine::with_votes(
+                &topo,
+                cfg.clone(),
+                spec,
+                votes.clone(),
+                wl.clone(),
+                seed,
+            );
+            let b = fresh.run_indexed_batch(index);
+            assert_eq!(a, b, "batch {index}");
+        }
+    }
+
+    #[test]
+    fn ci_trace_has_shared_orchestrator_granularity() {
+        // One point per counted batch from the second on, regardless of
+        // thread count — the trace comes from quorum_stats::converge.
+        let topo = Topology::ring(9);
+        let (mut cfg, seed) = tiny(3);
+        cfg.params.min_batches = 5;
+        cfg.params.max_batches = 5;
+        cfg.params.ci_half_width = 1e-9; // unreachable: run every batch
+        let res = run_cluster_observed(
+            &topo,
+            &cfg,
+            QuorumSpec::majority(9),
+            VoteAssignment::uniform(9),
+            Workload::uniform(9, 0.5),
+            RunOptions::threaded(seed, 2),
+            &Registry::new(),
+        );
+        assert_eq!(res.batches, 5);
+        let batches: Vec<u64> = res.ci_trace.iter().map(|p| p.batches).collect();
+        assert_eq!(batches, vec![2, 3, 4, 5]);
     }
 }

@@ -36,7 +36,12 @@ impl LatencyHistogram {
     }
 
     /// Records one latency observation.
+    ///
+    /// Latencies are differences of simulation timestamps, so a NaN or
+    /// infinity here means an upstream arithmetic bug — it would poison
+    /// `sum` (and every mean derived from it) silently.
     pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite latency recorded: {x}");
         let idx = self
             .bounds
             .iter()
@@ -247,6 +252,8 @@ impl ClusterStats {
     /// Publishes the counters into a registry under the
     /// [`quorum_obs::keys`] names.
     pub fn observe_into(&self, registry: &Registry) {
+        registry.add(keys::CLUSTER_READS_SUBMITTED, self.reads_submitted);
+        registry.add(keys::CLUSTER_WRITES_SUBMITTED, self.writes_submitted);
         registry.add(keys::CLUSTER_MESSAGES_SENT, self.messages_sent);
         registry.add(keys::CLUSTER_MESSAGES_DELIVERED, self.messages_delivered);
         registry.add(keys::CLUSTER_MESSAGES_DROPPED, self.messages_dropped);

@@ -28,6 +28,6 @@ pub mod time;
 
 pub use event::{EventKey, EventQueue};
 pub use failure::{DurationDist, OnOffProcess};
-pub use params::SimParams;
+pub use params::{ci_points, SimParams};
 pub use poisson::PoissonProcess;
 pub use time::SimTime;

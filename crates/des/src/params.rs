@@ -76,6 +76,18 @@ impl SimParams {
         self.mu_fail() * (1.0 - self.reliability) / self.reliability
     }
 
+    /// The shared batch-orchestrator configuration these parameters
+    /// imply: same stopping rule (§5.2), `threads` workers.
+    pub fn converge_params(&self, threads: usize) -> quorum_stats::ConvergeParams {
+        quorum_stats::ConvergeParams {
+            confidence: self.confidence,
+            target_half_width: self.ci_half_width,
+            min_batches: self.min_batches,
+            max_batches: self.max_batches,
+            threads,
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -101,6 +113,19 @@ impl Default for SimParams {
     fn default() -> Self {
         Self::paper()
     }
+}
+
+/// Converts a [`quorum_stats::converge`] trace into the manifest's
+/// [`quorum_obs::CiPoint`] form (both runners record per-round points).
+pub fn ci_points(trace: &[quorum_stats::TracePoint]) -> Vec<quorum_obs::CiPoint> {
+    trace
+        .iter()
+        .map(|p| quorum_obs::CiPoint {
+            batches: p.batches,
+            mean: p.mean,
+            half_width: p.half_width,
+        })
+        .collect()
 }
 
 #[cfg(test)]

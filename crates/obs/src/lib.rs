@@ -75,4 +75,8 @@ pub mod keys {
     pub const CLUSTER_UNAVAILABLE: &str = "cluster.unavailable";
     /// Session timers voided before firing (session resolved first).
     pub const CLUSTER_TIMERS_CANCELLED: &str = "cluster.timers_cancelled";
+    /// Measured read sessions submitted (excludes warm-up).
+    pub const CLUSTER_READS_SUBMITTED: &str = "cluster.reads_submitted";
+    /// Measured write sessions submitted (excludes warm-up).
+    pub const CLUSTER_WRITES_SUBMITTED: &str = "cluster.writes_submitted";
 }

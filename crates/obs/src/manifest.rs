@@ -110,6 +110,14 @@ pub struct PhaseTiming {
 }
 
 /// Everything needed to reproduce and compare one run.
+///
+/// Ownership convention for [`RunManifest::counters`]: the registry
+/// snapshot is the **single source** — producers publish totals into a
+/// [`crate::Registry`] and the driver calls [`RunManifest::absorb_snapshot`]
+/// exactly once. Result-struct `fill_manifest` helpers must write only
+/// metrics, histograms, batch counts, and CI traces, never counters;
+/// writing a counter from both paths silently doubles it in the emitted
+/// manifest (absorption *adds*, to allow multi-registry merges).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunManifest {
     /// Name of the producing binary (e.g. `"validate_curves"`).

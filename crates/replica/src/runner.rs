@@ -5,7 +5,9 @@
 //! ACC has half-width ≤ 0.5 %. Batches are statistically independent by
 //! construction (disjoint derived seeds, network reset per batch), so they
 //! can run on worker threads; results are merged deterministically by
-//! batch index.
+//! batch index. The round structure, worker threads, stopping rule, and
+//! utilization accounting all live in [`quorum_stats::converge`] — the
+//! same orchestrator the message-level cluster runner uses.
 
 use crate::results::{BatchStats, RunResults};
 use crate::simulation::{NullObserver, Simulation};
@@ -13,9 +15,8 @@ use crate::workload::Workload;
 use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
-use quorum_obs::{keys, CiPoint, Registry};
-use quorum_stats::BatchMeans;
-use std::time::{Duration, Instant};
+use quorum_obs::{keys, Registry};
+use quorum_stats::{converge, BatchMeans};
 
 /// Configuration of a multi-batch run.
 #[derive(Debug, Clone, Copy)]
@@ -40,81 +41,6 @@ impl RunConfig {
                 .unwrap_or(1),
         }
     }
-}
-
-fn run_batch_range(
-    topology: &Topology,
-    votes: &VoteAssignment,
-    spec: QuorumSpec,
-    workload: &Workload,
-    cfg: &RunConfig,
-    indices: &[u64],
-) -> Vec<(BatchStats, Duration)> {
-    if indices.is_empty() {
-        return Vec::new();
-    }
-    let threads = cfg.threads.max(1).min(indices.len());
-    if threads == 1 {
-        return indices
-            .iter()
-            .map(|&i| {
-                let mut sim = Simulation::with_votes(
-                    topology,
-                    cfg.params,
-                    votes.clone(),
-                    workload.clone(),
-                    cfg.seed,
-                );
-                let mut proto = QuorumConsensus::new(votes.clone(), spec);
-                let started = Instant::now();
-                let stats = sim.run_indexed_batch(&mut proto, &mut NullObserver, i);
-                (stats, started.elapsed())
-            })
-            .collect();
-    }
-    // Static round-robin split over scoped worker threads, then reassemble
-    // in index order so results are independent of thread count.
-    let chunks: Vec<Vec<u64>> = (0..threads)
-        .map(|t| {
-            indices
-                .iter()
-                .copied()
-                .skip(t)
-                .step_by(threads)
-                .collect::<Vec<u64>>()
-        })
-        .collect();
-    let mut tagged: Vec<(u64, BatchStats, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&i| {
-                            let mut sim = Simulation::with_votes(
-                                topology,
-                                cfg.params,
-                                votes.clone(),
-                                workload.clone(),
-                                cfg.seed,
-                            );
-                            let mut proto = QuorumConsensus::new(votes.clone(), spec);
-                            let started = Instant::now();
-                            let stats = sim.run_indexed_batch(&mut proto, &mut NullObserver, i);
-                            (i, stats, started.elapsed())
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|(i, _, _)| *i);
-    tagged.into_iter().map(|(_, s, d)| (s, d)).collect()
 }
 
 /// Runs the static quorum consensus protocol until the CI converges.
@@ -145,73 +71,54 @@ pub fn run_static_observed(
     registry: &Registry,
 ) -> RunResults {
     let _run_timer = registry.scoped_timer("replica.run_static");
-    let wall_start = Instant::now();
     cfg.params.validate();
     let n = topology.num_sites();
     let total = votes.total() as usize;
 
-    let mut acc = BatchMeans::new(
+    let mut read_acc = BatchMeans::new(
         cfg.params.confidence,
         cfg.params.ci_half_width,
         cfg.params.min_batches,
     );
-    let mut read_acc = acc.clone();
-    let mut write_acc = acc.clone();
+    let mut write_acc = read_acc.clone();
     let mut combined = BatchStats::new(n, total);
-    let mut ci_trace = Vec::new();
-    let mut busy = Duration::ZERO;
-    let mut next_index = 0u64;
 
-    while next_index < cfg.params.max_batches {
-        // First round fills min_batches; later rounds add one thread-width
-        // of batches at a time until converged or capped.
-        let goal = if next_index == 0 {
-            cfg.params.min_batches
-        } else {
-            (next_index + cfg.threads.max(1) as u64).min(cfg.params.max_batches)
-        };
-        let indices: Vec<u64> = (next_index..goal).collect();
-        next_index = goal;
-        for (stats, elapsed) in run_batch_range(topology, &votes, spec, &workload, &cfg, &indices) {
-            acc.push_batch(stats.availability());
+    let conv = converge(
+        &cfg.params.converge_params(cfg.threads),
+        |index| {
+            let mut sim = Simulation::with_votes(
+                topology,
+                cfg.params,
+                votes.clone(),
+                workload.clone(),
+                cfg.seed,
+            );
+            let mut proto = QuorumConsensus::new(votes.clone(), spec);
+            sim.run_indexed_batch(&mut proto, &mut NullObserver, index)
+        },
+        BatchStats::availability,
+        |_, stats, elapsed| {
             read_acc.push_batch(stats.read_availability());
             write_acc.push_batch(stats.write_availability());
             combined.merge(&stats);
-            busy += elapsed;
             registry.record_duration("replica.batch", elapsed);
-        }
-        if let Some(ci) = acc.interval() {
-            ci_trace.push(CiPoint {
-                batches: acc.batches(),
-                mean: acc.mean(),
-                half_width: ci.half_width,
-            });
-        }
-        if acc.is_converged() {
-            break;
-        }
-    }
+        },
+    );
 
-    registry.add(keys::RUN_BATCHES, acc.batches());
+    registry.add(keys::RUN_BATCHES, conv.batches);
     registry.set_gauge(keys::RUN_THREADS, cfg.threads.max(1) as f64);
-    let wall = wall_start.elapsed().as_secs_f64();
-    if wall > 0.0 {
-        // Busy batch-seconds over available thread-seconds: 1.0 means the
-        // convergence loop kept every worker saturated.
-        registry.set_gauge(
-            "replica.thread_utilization",
-            busy.as_secs_f64() / (wall * cfg.threads.max(1) as f64),
-        );
-    }
+    // Busy batch-seconds over per-round available thread-seconds: 1.0
+    // means the convergence loop kept every usable worker saturated.
+    registry.set_gauge("replica.thread_utilization", conv.utilization());
     combined.observe_into(registry);
 
     RunResults {
-        batches: acc.batches(),
-        acc,
+        batches: conv.batches,
+        acc: conv.acc,
         read_acc,
         write_acc,
         combined,
-        ci_trace,
+        ci_trace: quorum_des::ci_points(&conv.trace),
     }
 }
 
@@ -309,8 +216,11 @@ mod tests {
             .ci_trace
             .iter()
             .all(|p| p.half_width >= 0.0 && p.batches >= 2));
+        // Per-round thread-seconds accounting keeps utilization a true
+        // fraction; ε absorbs clock-read noise only.
         let util = snap.gauges["replica.thread_utilization"];
-        assert!(util > 0.0 && util <= 1.5, "utilization {util}");
+        assert!(util > 0.0 && util <= 1.0 + 0.005, "utilization {util}");
+        assert!((snap.gauges[keys::RUN_THREADS] - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`BatchMeans`] and [`ConfidenceInterval`] — the batch-means output
 //!   analysis the paper's simulator uses (§5.2: batches of one million
 //!   accesses, 95 % confidence intervals of half-width ≤ 0.5 %).
+//! * [`converge`] — the generic parallel batch orchestrator built on
+//!   them: runs `Fn(batch_index) -> stats` jobs on scoped worker
+//!   threads, merges deterministically by batch index, and applies the
+//!   stop-when-tight rule (every multi-batch runner shares this loop).
 //! * One-dimensional optimizers ([`optimize`]) — exhaustive integer argmax,
 //!   the golden-section search the paper suggests in §4.1, and Brent's
 //!   method for continuous relaxations.
@@ -23,6 +27,7 @@
 
 pub mod batch;
 pub mod ci;
+pub mod converge;
 pub mod discrete;
 pub mod histogram;
 pub mod optimize;
@@ -30,5 +35,6 @@ pub mod rng;
 
 pub use batch::{BatchMeans, RunningStats};
 pub use ci::ConfidenceInterval;
+pub use converge::{converge, ConvergeParams, Convergence, TracePoint};
 pub use discrete::DiscreteDist;
 pub use histogram::{CountingHistogram, DecayedHistogram, VoteHistogram};
