@@ -1,0 +1,314 @@
+//! Event-replay comparison of the component-maintenance kernels.
+//!
+//! Two measurements, both over the paper's topology families:
+//!
+//! * **Kernel replay** — a deterministic site/link toggle trace with the
+//!   simulator's hot-loop shape (1 topology event per 8 component
+//!   reads), replayed three ways: queue-based full BFS per event, word-
+//!   parallel bitset BFS per event, and the incremental delta kernel
+//!   (merge on recovery, single-component rescan on failure, no-op
+//!   filtering). Reports wall-clock and the full-BFS/delta speedup —
+//!   the headline ratio EXPERIMENTS.md quotes for chords ≥ 256.
+//! * **Engine batches** — full replica-simulator batches (ring, full,
+//!   bus) with the kernel on vs off at 1 and `--threads` worker
+//!   threads, pinning what the micro numbers buy end to end.
+//!
+//! With `--manifest <path>` a run manifest is written containing every
+//! wall-clock metric plus the kernel-on engine counters, so the
+//! `graph.delta_*` fast-path identity (counter sum = topology events)
+//! is visible to the CI jq gate.
+//!
+//! Usage: cargo run -p quorum-bench --release --bin kernel_replay
+//!        [-- --paper-scale --threads 2 --seed 11 --events 50000
+//!            --manifest results/BENCH_PR.json]
+
+use quorum_bench::{manifest, print_table, run_jobs, Args, Scale};
+use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
+use quorum_graph::{ComponentCache, DeltaConnectivity, NetworkState, Topology, TopologyEvent};
+use quorum_obs::{Registry, RunManifest};
+use quorum_replica::simulation::NullObserver;
+use quorum_replica::{BatchStats, Simulation, Workload};
+use std::time::Instant;
+
+/// One replayed configuration: label, topology, votes, workload.
+struct Setup {
+    label: String,
+    chords: usize,
+    topo: Topology,
+    votes: VoteAssignment,
+    workload: Workload,
+}
+
+/// The paper's families at §5 scale; the bus hub (site 0) relays but
+/// carries no votes and submits no accesses.
+fn setups() -> Vec<Setup> {
+    let mut out = Vec::new();
+    for chords in [0usize, 256, 1024] {
+        out.push(Setup {
+            label: format!("ring-101-c{chords}"),
+            chords,
+            topo: Topology::ring_with_chords(101, chords),
+            votes: VoteAssignment::uniform(101),
+            workload: Workload::uniform(101, 0.7),
+        });
+    }
+    out.push(Setup {
+        label: "full-101".into(),
+        chords: 0,
+        topo: Topology::fully_connected(101),
+        votes: VoteAssignment::uniform(101),
+        workload: Workload::uniform(101, 0.7),
+    });
+    let bus = Topology::bus(100);
+    let n = bus.num_sites();
+    let mut votes = vec![1u64; n];
+    votes[0] = 0;
+    let mut weights = vec![1.0; n];
+    weights[0] = 0.0;
+    out.push(Setup {
+        label: "bus-100".into(),
+        chords: 0,
+        topo: bus,
+        votes: VoteAssignment::weighted(votes),
+        workload: Workload::weighted(0.7, &weights, &weights),
+    });
+    out
+}
+
+/// Deterministic toggle trace (inline LCG; every entry is a real
+/// transition when replayed from all-up). Down entities always repair
+/// but up entities fail only 1 in 24 draws, so the trace settles at the
+/// simulator's mostly-up steady state (§5.2 reliability 0.96) instead
+/// of a coin-flip regime of half-dead networks.
+fn event_trace(topo: &Topology, len: usize, seed: u64) -> Vec<TopologyEvent> {
+    let n = topo.num_sites();
+    let m = topo.num_links();
+    let mut state = NetworkState::all_up(topo);
+    let mut x = seed | 1;
+    let mut draw = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let pick = draw() % (n + m);
+        let up_now = if pick < n {
+            state.site_up(pick)
+        } else {
+            state.link_up(pick - n)
+        };
+        if up_now && draw() % 24 != 0 {
+            continue;
+        }
+        if pick < n {
+            state.set_site(pick, !up_now);
+            out.push(TopologyEvent::Site {
+                site: pick,
+                up: !up_now,
+            });
+        } else {
+            state.set_link(pick - n, !up_now);
+            out.push(TopologyEvent::Link {
+                link: pick - n,
+                up: !up_now,
+            });
+        }
+    }
+    out
+}
+
+fn apply_to_state(state: &mut NetworkState, ev: TopologyEvent) {
+    match ev {
+        TopologyEvent::Site { site, up } => assert!(state.set_site(site, up)),
+        TopologyEvent::Link { link, up } => assert!(state.set_link(link, up)),
+    }
+}
+
+/// Replays `trace` with 8 component reads per event; `make_cache` picks
+/// the kernel. Returns (wall seconds, vote checksum, final cache).
+fn replay(
+    setup: &Setup,
+    trace: &[TopologyEvent],
+    make_cache: impl Fn() -> ComponentCache,
+) -> (f64, u64, ComponentCache) {
+    let votes = setup.votes.as_slice();
+    let n = setup.topo.num_sites();
+    let mut state = NetworkState::all_up(&setup.topo);
+    let mut cache = make_cache();
+    cache.view(&setup.topo, &state, votes);
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for (i, &ev) in trace.iter().enumerate() {
+        apply_to_state(&mut state, ev);
+        cache.apply_event(&setup.topo, &state, votes, ev);
+        for k in 0..8usize {
+            acc += cache.view(&setup.topo, &state, votes).votes_of((i + k) % n);
+        }
+    }
+    (started.elapsed().as_secs_f64(), acc, cache)
+}
+
+/// Replays with a from-scratch word-parallel bitset BFS per event (the
+/// middle rung between queue BFS and the incremental kernel).
+fn replay_bitset(setup: &Setup, trace: &[TopologyEvent]) -> (f64, u64) {
+    let votes = setup.votes.as_slice();
+    let n = setup.topo.num_sites();
+    let mut state = NetworkState::all_up(&setup.topo);
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for (i, &ev) in trace.iter().enumerate() {
+        apply_to_state(&mut state, ev);
+        let view = DeltaConnectivity::new(&setup.topo, &state, votes).to_view();
+        for k in 0..8usize {
+            acc += view.votes_of((i + k) % n);
+        }
+    }
+    (started.elapsed().as_secs_f64(), acc)
+}
+
+/// Runs `batches` replica batches under one kernel setting, spread over
+/// `threads` workers exactly like the production runner (one engine per
+/// worker, disjoint batch indices). Returns (wall secs, merged stats).
+fn engine_run(
+    setup: &Setup,
+    scale: Scale,
+    seed: u64,
+    kernel: bool,
+    threads: usize,
+    batches: u64,
+) -> (f64, BatchStats) {
+    let params = scale.params();
+    let spec = QuorumSpec::majority(setup.votes.total());
+    let started = Instant::now();
+    type Job<'a> = Box<dyn FnOnce() -> BatchStats + Send + 'a>;
+    let jobs: Vec<Job<'_>> = (0..batches)
+        .map(|b| {
+            let (topo, votes, workload) =
+                (&setup.topo, setup.votes.clone(), setup.workload.clone());
+            Box::new(move || {
+                let mut sim = Simulation::with_votes(topo, params, votes.clone(), workload, seed)
+                    .with_delta_kernel(kernel);
+                let mut proto = QuorumConsensus::new(votes, spec);
+                sim.run_indexed_batch(&mut proto, &mut NullObserver, b)
+            }) as Job<'_>
+        })
+        .collect();
+    let results = run_jobs(threads, jobs);
+    let wall = started.elapsed().as_secs_f64();
+    let mut combined = results[0].clone();
+    for s in &results[1..] {
+        combined.merge(s);
+    }
+    (wall, combined)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args);
+    let seed: u64 = args.get_or("seed", 11);
+    let threads: usize = args.get_or("threads", 2);
+    let events: usize = args.get_or(
+        "events",
+        match scale {
+            Scale::Quick => 2_000,
+            Scale::Medium => 10_000,
+            Scale::Paper => 50_000,
+        },
+    );
+    let batches: u64 = args.get_or("batches", 2);
+
+    let mut m = RunManifest::new("kernel_replay", seed);
+    m.params = manifest::sim_params_record(&scale.params());
+
+    println!(
+        "# Kernel replay | {events} events x 8 reads, engine batches={batches}, scale={} seed={seed}",
+        scale.label()
+    );
+    let mut rows = Vec::new();
+    let setups = setups();
+    for setup in &setups {
+        let trace = event_trace(&setup.topo, events, seed.wrapping_mul(0x9E3779B97F4A7C15));
+        let (full_secs, full_acc, _) = replay(setup, &trace, ComponentCache::new);
+        let (bitset_secs, bitset_acc) = replay_bitset(setup, &trace);
+        let (delta_secs, delta_acc, cache) = replay(setup, &trace, ComponentCache::incremental);
+        assert_eq!(full_acc, delta_acc, "kernel changed a reported number");
+        assert_eq!(full_acc, bitset_acc, "bitset BFS changed a reported number");
+        let counters = cache.delta_counters();
+        assert_eq!(
+            counters.total(),
+            events as u64,
+            "every event must land in exactly one fast-path counter"
+        );
+        let speedup = full_secs / delta_secs;
+        rows.push(vec![
+            setup.label.clone(),
+            format!("{full_secs:.3}"),
+            format!("{bitset_secs:.3}"),
+            format!("{delta_secs:.3}"),
+            format!("{speedup:.1}x"),
+            format!(
+                "{}/{}/{}",
+                counters.merges, counters.rescans, counters.noops
+            ),
+        ]);
+        m.set_metric(&format!("replay.full_bfs_secs.{}", setup.label), full_secs);
+        m.set_metric(
+            &format!("replay.bitset_bfs_secs.{}", setup.label),
+            bitset_secs,
+        );
+        m.set_metric(&format!("replay.delta_secs.{}", setup.label), delta_secs);
+        m.set_metric(&format!("replay.speedup.{}", setup.label), speedup);
+    }
+    print_table(
+        &[
+            "config",
+            "full_bfs_s",
+            "bitset_bfs_s",
+            "delta_s",
+            "speedup",
+            "merge/rescan/noop",
+        ],
+        &rows,
+    );
+
+    // End-to-end engine wall-clock, kernel on vs off, 1 and N threads.
+    // Counters are published from the kernel-on runs only, so the
+    // manifest's delta identity (sum = topology events) stays exact.
+    let registry = Registry::new();
+    let headline = &setups[1];
+    m.topology = manifest::topology_record(&headline.label, headline.chords, &headline.topo);
+    let mut rows = Vec::new();
+    for setup in &setups {
+        for t in [1usize, threads.max(2)] {
+            let (off_secs, _) = engine_run(setup, scale, seed, false, t, batches);
+            let (on_secs, stats) = engine_run(setup, scale, seed, true, t, batches);
+            stats.observe_into(&registry);
+            rows.push(vec![
+                setup.label.clone(),
+                format!("{t}"),
+                format!("{off_secs:.2}"),
+                format!("{on_secs:.2}"),
+                format!("{:.2}x", off_secs / on_secs),
+            ]);
+            m.set_metric(
+                &format!("engine.full_bfs_secs.{}.t{t}", setup.label),
+                off_secs,
+            );
+            m.set_metric(&format!("engine.delta_secs.{}.t{t}", setup.label), on_secs);
+            m.set_metric(
+                &format!("engine.speedup.{}.t{t}", setup.label),
+                off_secs / on_secs,
+            );
+        }
+    }
+    println!();
+    print_table(
+        &["config", "threads", "full_bfs_s", "delta_s", "speedup"],
+        &rows,
+    );
+    m.batches = batches;
+    m.absorb_snapshot(&registry.snapshot());
+    manifest::write_requested(&args, &m);
+}

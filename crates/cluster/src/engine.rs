@@ -43,7 +43,7 @@ use crate::stats::{ClusterStats, Outcome};
 use quorum_core::reassign::SiteAssignment;
 use quorum_core::{Access, QuorumSpec, VoteAssignment};
 use quorum_des::{EventKey, EventQueue, PoissonProcess, SimTime};
-use quorum_graph::{ComponentCache, NetworkState, Topology};
+use quorum_graph::{ComponentCache, NetworkState, Topology, TopologyEvent};
 use quorum_replica::failure::FailureProcesses;
 use quorum_replica::Workload;
 use quorum_stats::rng::{derive_seed, rng_from_seed};
@@ -277,7 +277,11 @@ impl<'a> ClusterEngine<'a> {
             config: &self.config,
             queue,
             state: NetworkState::all_up(self.topology),
-            cache: ComponentCache::new(),
+            cache: if self.config.delta_kernel {
+                ComponentCache::incremental()
+            } else {
+                ComponentCache::new()
+            },
             procs,
             fail_rng,
             access_rng,
@@ -314,7 +318,12 @@ impl<'a> ClusterEngine<'a> {
                     batch.stats.site_transitions += 1;
                     let (up, gap) = batch.procs.site_transition(i, &mut batch.fail_rng);
                     if batch.state.set_site(i, up) {
-                        batch.cache.invalidate();
+                        batch.cache.apply_event(
+                            batch.topology,
+                            &batch.state,
+                            batch.votes.as_slice(),
+                            TopologyEvent::Site { site: i, up },
+                        );
                     }
                     batch.queue.schedule_in(gap, Event::SiteTransition(i));
                 }
@@ -322,7 +331,12 @@ impl<'a> ClusterEngine<'a> {
                     batch.stats.link_transitions += 1;
                     let (up, gap) = batch.procs.link_transition(i, &mut batch.fail_rng);
                     if batch.state.set_link(i, up) {
-                        batch.cache.invalidate();
+                        batch.cache.apply_event(
+                            batch.topology,
+                            &batch.state,
+                            batch.votes.as_slice(),
+                            TopologyEvent::Link { link: i, up },
+                        );
                     }
                     batch.queue.schedule_in(gap, Event::LinkTransition(i));
                 }
@@ -333,7 +347,12 @@ impl<'a> ClusterEngine<'a> {
             }
         }
 
+        let delta = batch.cache.delta_counters();
         let mut stats = batch.stats;
+        stats.delta_merges = delta.merges;
+        stats.delta_rescans = delta.rescans;
+        stats.delta_noops = delta.noops;
+        stats.full_recomputes = delta.full_recomputes;
         stats.events_processed = batch.queue.popped();
         stats.timers_cancelled = batch.queue.cancelled();
         stats.freshness_violations = batch.checker.violations();

@@ -133,6 +133,15 @@ pub struct ClusterStats {
     pub link_transitions: u64,
     /// Events popped from the queue.
     pub events_processed: u64,
+    /// Topology events the incremental kernel absorbed by merging
+    /// components (zero when the kernel is disabled).
+    pub delta_merges: u64,
+    /// Topology events absorbed by re-scanning one component.
+    pub delta_rescans: u64,
+    /// Topology events filtered as partition-preserving no-ops.
+    pub delta_noops: u64,
+    /// Topology events absorbed by a from-scratch kernel rebuild.
+    pub full_recomputes: u64,
     /// Latency of committed measured reads (submit → commit).
     pub read_latency: LatencyHistogram,
     /// Latency of committed measured writes (submit → commit).
@@ -168,6 +177,10 @@ impl ClusterStats {
             site_transitions: 0,
             link_transitions: 0,
             events_processed: 0,
+            delta_merges: 0,
+            delta_rescans: 0,
+            delta_noops: 0,
+            full_recomputes: 0,
             read_latency: LatencyHistogram::new(latency_bounds),
             write_latency: LatencyHistogram::new(latency_bounds),
             measured_duration: 0.0,
@@ -244,6 +257,10 @@ impl ClusterStats {
         self.site_transitions += other.site_transitions;
         self.link_transitions += other.link_transitions;
         self.events_processed += other.events_processed;
+        self.delta_merges += other.delta_merges;
+        self.delta_rescans += other.delta_rescans;
+        self.delta_noops += other.delta_noops;
+        self.full_recomputes += other.full_recomputes;
         self.read_latency.merge(&other.read_latency);
         self.write_latency.merge(&other.write_latency);
         self.measured_duration += other.measured_duration;
@@ -272,6 +289,10 @@ impl ClusterStats {
         registry.add(keys::DES_EVENTS, self.events_processed);
         registry.add(keys::DES_SITE_TRANSITIONS, self.site_transitions);
         registry.add(keys::DES_LINK_TRANSITIONS, self.link_transitions);
+        registry.add(keys::DELTA_MERGES, self.delta_merges);
+        registry.add(keys::DELTA_RESCANS, self.delta_rescans);
+        registry.add(keys::DELTA_NOOPS, self.delta_noops);
+        registry.add(keys::FULL_RECOMPUTES, self.full_recomputes);
     }
 }
 

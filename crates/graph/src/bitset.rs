@@ -86,6 +86,78 @@ impl BitSet {
         }
     }
 
+    /// The backing words (the tail bits beyond `len` are always clear).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.words.iter().enumerate().find_map(|(wi, &w)| {
+            if w == 0 {
+                None
+            } else {
+                Some(wi * 64 + w.trailing_zeros() as usize)
+            }
+        })
+    }
+
+    /// `self |= other` (word-parallel union).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn or_assign(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set capacities must match");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other` (word-parallel intersection).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn and_assign(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set capacities must match");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` (word-parallel difference).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn and_not_assign(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set capacities must match");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// True if no bit is set.
+    pub fn is_all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if `self` and `other` share at least one set bit.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bit set capacities must match");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Copies `other` into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set capacities must match");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates over indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -100,6 +172,13 @@ impl BitSet {
                 }
             })
         })
+    }
+}
+
+impl Default for BitSet {
+    /// An empty zero-capacity set (placeholder for `mem::take`).
+    fn default() -> Self {
+        Self::new(0)
     }
 }
 
@@ -163,6 +242,62 @@ mod tests {
     fn iter_ones_empty() {
         let s = BitSet::new(10);
         assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn word_ops_match_bitwise_semantics() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [0, 5, 63, 64, 100, 129] {
+            a.set(i, true);
+        }
+        for i in [5, 64, 99, 129] {
+            b.set(i, true);
+        }
+        let mut or = a.clone();
+        or.or_assign(&b);
+        let want: Vec<usize> = vec![0, 5, 63, 64, 99, 100, 129];
+        assert_eq!(or.iter_ones().collect::<Vec<_>>(), want);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![5, 64, 129]);
+        let mut diff = a.clone();
+        diff.and_not_assign(&b);
+        assert_eq!(diff.iter_ones().collect::<Vec<_>>(), vec![0, 63, 100]);
+        assert!(a.intersects(&b));
+        assert!(!and.is_all_clear());
+        assert!(BitSet::new(130).is_all_clear());
+    }
+
+    #[test]
+    fn first_one_finds_lowest() {
+        let mut s = BitSet::new(200);
+        assert_eq!(s.first_one(), None);
+        s.set(150, true);
+        assert_eq!(s.first_one(), Some(150));
+        s.set(64, true);
+        assert_eq!(s.first_one(), Some(64));
+        s.set(3, true);
+        assert_eq!(s.first_one(), Some(3));
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let mut a = BitSet::new(80);
+        let mut b = BitSet::new(80);
+        b.set(7, true);
+        b.set(77, true);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        b.set(7, false);
+        assert!(a.get(7), "copy is independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must match")]
+    fn mismatched_or_panics() {
+        let mut a = BitSet::new(10);
+        a.or_assign(&BitSet::new(11));
     }
 
     #[test]

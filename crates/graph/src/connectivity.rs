@@ -10,11 +10,13 @@
 //! simulator: accesses between two topology events see the same partition,
 //! so the BFS need only rerun when a failure/recovery actually intervened.
 
+use crate::bitset::BitSet;
+use crate::delta::{DeltaConnectivity, DeltaCounters, DeltaOutcome, TopologyEvent};
 use crate::state::NetworkState;
 use crate::topology::Topology;
 
 /// A snapshot of the network's partition into components.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentView {
     /// Component id per site; [`ComponentView::DOWN`] for down sites.
     comp_id: Vec<u32>,
@@ -22,6 +24,9 @@ pub struct ComponentView {
     comp_votes: Vec<u64>,
     /// Number of up sites per component id.
     comp_sizes: Vec<u32>,
+    /// Member bitset per component id — built once at compute time so
+    /// membership reads are O(words) with no per-access allocation.
+    members: Vec<BitSet>,
 }
 
 impl ComponentView {
@@ -39,6 +44,7 @@ impl ComponentView {
         let mut comp_id = vec![Self::DOWN; n];
         let mut comp_votes = Vec::new();
         let mut comp_sizes = Vec::new();
+        let mut members = Vec::new();
         let mut queue = Vec::with_capacity(n);
         for start in 0..n {
             if !state.site_up(start) || comp_id[start] != Self::DOWN {
@@ -47,12 +53,14 @@ impl ComponentView {
             let id = comp_votes.len() as u32;
             comp_votes.push(0u64);
             comp_sizes.push(0u32);
+            members.push(BitSet::new(n));
             comp_id[start] = id;
             queue.clear();
             queue.push(start);
             while let Some(s) = queue.pop() {
                 comp_votes[id as usize] += votes[s];
                 comp_sizes[id as usize] += 1;
+                members[id as usize].set(s, true);
                 for &(nb, link) in topology.neighbors(s) {
                     if state.link_up(link) && state.site_up(nb) && comp_id[nb] == Self::DOWN {
                         comp_id[nb] = id;
@@ -65,6 +73,23 @@ impl ComponentView {
             comp_id,
             comp_votes,
             comp_sizes,
+            members,
+        }
+    }
+
+    /// Assembles a view from precomputed parts (the incremental kernel's
+    /// canonical materialization).
+    pub(crate) fn from_parts(
+        comp_id: Vec<u32>,
+        comp_votes: Vec<u64>,
+        comp_sizes: Vec<u32>,
+        members: Vec<BitSet>,
+    ) -> Self {
+        Self {
+            comp_id,
+            comp_votes,
+            comp_sizes,
+            members,
         }
     }
 
@@ -103,6 +128,11 @@ impl ComponentView {
         &self.comp_votes
     }
 
+    /// Up-site counts per component.
+    pub fn component_sizes(&self) -> &[u32] {
+        &self.comp_sizes
+    }
+
     /// Maximum votes held by any component (0 if every site is down).
     ///
     /// This is the quantity behind the SURV metric (§3, footnote 3).
@@ -116,56 +146,136 @@ impl ComponentView {
     }
 
     /// Member lists of every component, indexed by component id.
+    ///
+    /// Allocates; access paths should prefer [`Self::member_bits`] or
+    /// [`Self::members_of_component`].
     pub fn all_components(&self) -> Vec<Vec<usize>> {
-        let mut out = vec![Vec::new(); self.comp_votes.len()];
-        for (site, &id) in self.comp_id.iter().enumerate() {
-            if id != Self::DOWN {
-                out[id as usize].push(site);
-            }
-        }
-        out
+        self.members
+            .iter()
+            .map(|bits| bits.iter_ones().collect())
+            .collect()
+    }
+
+    /// Member bitset of component `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (including [`Self::DOWN`]).
+    pub fn member_bits(&self, id: u32) -> &BitSet {
+        &self.members[id as usize]
+    }
+
+    /// Iterates over the up sites of component `id` in ascending order.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn members_of_component(&self, id: u32) -> impl Iterator<Item = usize> + '_ {
+        self.members[id as usize].iter_ones()
     }
 
     /// Iterates over the up sites in the same component as `site`
-    /// (including `site` itself); empty if `site` is down.
-    pub fn members_of<'a>(&'a self, site: usize) -> impl Iterator<Item = usize> + 'a {
+    /// (including `site` itself); empty if `site` is down. O(words) via
+    /// the per-component member index.
+    pub fn members_of(&self, site: usize) -> impl Iterator<Item = usize> + '_ {
         let id = self.comp_id[site];
-        self.comp_id
-            .iter()
-            .enumerate()
-            .filter(move |&(_, &c)| id != Self::DOWN && c == id)
-            .map(|(s, _)| s)
+        let bits = (id != Self::DOWN).then(|| &self.members[id as usize]);
+        bits.into_iter().flat_map(|b| b.iter_ones())
     }
 }
 
-/// Dirty-flag memoization of [`ComponentView`].
+/// Dirty-flag memoization of [`ComponentView`], optionally backed by the
+/// incremental [`DeltaConnectivity`] kernel.
 ///
-/// The simulator calls [`ComponentCache::invalidate`] on every topology
-/// event and [`ComponentCache::view`] on every access; recomputation only
-/// happens when at least one event separated two accesses.
+/// The simulator calls [`ComponentCache::apply_event`] (or the legacy
+/// [`ComponentCache::invalidate`]) on every topology event and
+/// [`ComponentCache::view`] on every access; recomputation only happens
+/// when at least one event separated two accesses.
+///
+/// With the kernel enabled ([`ComponentCache::incremental`]) the
+/// recomputation is not a whole-graph BFS: recoveries merge components
+/// (union-find), failures re-scan one component, and provably
+/// partition-preserving events are filtered outright. The served views
+/// are bit-identical either way, and so are the hit/recompute counters —
+/// both count view calls with at least one intervening event, regardless
+/// of how the refresh is produced.
 #[derive(Debug, Clone)]
 pub struct ComponentCache {
     view: Option<ComponentView>,
+    kernel: Option<DeltaConnectivity>,
+    use_kernel: bool,
     recomputations: u64,
     hits: u64,
+    delta: DeltaCounters,
 }
 
 impl ComponentCache {
-    /// An empty (dirty) cache.
+    /// An empty (dirty) cache refreshing via full BFS — the reference
+    /// path every kernel result is pinned against.
     pub fn new() -> Self {
         Self {
             view: None,
+            kernel: None,
+            use_kernel: false,
             recomputations: 0,
             hits: 0,
+            delta: DeltaCounters::default(),
         }
     }
 
-    /// Marks the cached view stale.
-    pub fn invalidate(&mut self) {
-        self.view = None;
+    /// An empty cache refreshing via the incremental kernel.
+    pub fn incremental() -> Self {
+        Self {
+            use_kernel: true,
+            ..Self::new()
+        }
     }
 
-    /// Returns the current view, recomputing if stale.
+    /// True if this cache refreshes through the incremental kernel.
+    pub fn is_incremental(&self) -> bool {
+        self.use_kernel
+    }
+
+    /// Marks the cached view stale and drops the kernel (the state may
+    /// change arbitrarily before the next [`Self::view`] call).
+    pub fn invalidate(&mut self) {
+        self.view = None;
+        self.kernel = None;
+    }
+
+    /// Applies one topology event: the fast path the engines call after
+    /// `NetworkState::set_site`/`set_link` reported an actual change
+    /// (with `state` already reflecting the event).
+    ///
+    /// Without the kernel this degenerates to [`Self::invalidate`]. With
+    /// it, the kernel absorbs the event incrementally — or, if no kernel
+    /// is built yet, is rebuilt from `state` (counted as a full
+    /// recompute, so every event lands in exactly one delta counter).
+    pub fn apply_event(
+        &mut self,
+        topology: &Topology,
+        state: &NetworkState,
+        votes: &[u64],
+        event: TopologyEvent,
+    ) {
+        self.view = None;
+        if !self.use_kernel {
+            return;
+        }
+        match &mut self.kernel {
+            Some(kernel) => match kernel.apply(event) {
+                DeltaOutcome::Merge => self.delta.merges += 1,
+                DeltaOutcome::Rescan => self.delta.rescans += 1,
+                DeltaOutcome::Noop => self.delta.noops += 1,
+            },
+            None => {
+                // `state` already includes the event, so building from it
+                // absorbs the event wholesale.
+                self.kernel = Some(DeltaConnectivity::new(topology, state, votes));
+                self.delta.full_recomputes += 1;
+            }
+        }
+    }
+
+    /// Returns the current view, refreshing if stale.
     pub fn view(
         &mut self,
         topology: &Topology,
@@ -173,7 +283,15 @@ impl ComponentCache {
         votes: &[u64],
     ) -> &ComponentView {
         if self.view.is_none() {
-            self.view = Some(ComponentView::compute(topology, state, votes));
+            if self.use_kernel {
+                let kernel = self
+                    .kernel
+                    .get_or_insert_with(|| DeltaConnectivity::new(topology, state, votes));
+                debug_assert!(kernel.in_sync_with(state), "kernel missed an event");
+                self.view = Some(kernel.to_view());
+            } else {
+                self.view = Some(ComponentView::compute(topology, state, votes));
+            }
             self.recomputations += 1;
         } else {
             self.hits += 1;
@@ -181,7 +299,8 @@ impl ComponentCache {
         self.view.as_ref().expect("just ensured")
     }
 
-    /// Number of BFS recomputations performed.
+    /// Number of view refreshes performed (full BFS without the kernel;
+    /// canonical re-materializations with it).
     pub fn recomputations(&self) -> u64 {
         self.recomputations
     }
@@ -191,11 +310,24 @@ impl ComponentCache {
         self.hits
     }
 
-    /// Records the cache's lifetime hit/recompute totals into an
-    /// observability registry under the [`quorum_obs::keys`] cache names.
+    /// Lifetime fast-path totals (all zero without the kernel).
+    pub fn delta_counters(&self) -> DeltaCounters {
+        self.delta
+    }
+
+    /// Records the cache's lifetime hit/recompute totals and the kernel
+    /// fast-path counters into an observability registry under the
+    /// [`quorum_obs::keys`] names.
     pub fn observe_into(&self, registry: &quorum_obs::Registry) {
         registry.add(quorum_obs::keys::CACHE_HITS, self.hits);
         registry.add(quorum_obs::keys::CACHE_RECOMPUTATIONS, self.recomputations);
+        registry.add(quorum_obs::keys::DELTA_MERGES, self.delta.merges);
+        registry.add(quorum_obs::keys::DELTA_RESCANS, self.delta.rescans);
+        registry.add(quorum_obs::keys::DELTA_NOOPS, self.delta.noops);
+        registry.add(
+            quorum_obs::keys::FULL_RECOMPUTES,
+            self.delta.full_recomputes,
+        );
     }
 }
 
@@ -384,6 +516,97 @@ mod tests {
             let fresh = ComponentView::compute(&t, &s, &votes);
             let direct: Vec<u64> = (0..21).map(|x| fresh.votes_of(x)).collect();
             assert_eq!(cached, direct);
+        }
+    }
+
+    #[test]
+    fn incremental_cache_matches_reference_cache() {
+        let t = Topology::ring_with_chords(21, 8);
+        let mut s = NetworkState::all_up(&t);
+        let votes: Vec<u64> = (0..21).map(|i| (i % 3 + 1) as u64).collect();
+        let mut fast = ComponentCache::incremental();
+        let mut slow = ComponentCache::new();
+        for i in 0..40usize {
+            if i % 2 == 0 {
+                let site = (i * 7) % 21;
+                let up = !s.site_up(site);
+                s.set_site(site, up);
+                fast.apply_event(&t, &s, &votes, TopologyEvent::Site { site, up });
+                slow.apply_event(&t, &s, &votes, TopologyEvent::Site { site, up });
+            } else {
+                let link = (i * 11) % t.num_links();
+                let up = !s.link_up(link);
+                s.set_link(link, up);
+                fast.apply_event(&t, &s, &votes, TopologyEvent::Link { link, up });
+                slow.apply_event(&t, &s, &votes, TopologyEvent::Link { link, up });
+            }
+            let a = fast.view(&t, &s, &votes).clone();
+            let b = slow.view(&t, &s, &votes).clone();
+            assert_eq!(a, b, "kernel diverged at step {i}");
+        }
+        // Counter parity: both caches saw the same call pattern.
+        assert_eq!(fast.hits(), slow.hits());
+        assert_eq!(fast.recomputations(), slow.recomputations());
+        // Every event classified exactly once; the reference path
+        // classified none.
+        assert_eq!(fast.delta_counters().total(), 40);
+        assert_eq!(slow.delta_counters().total(), 0);
+    }
+
+    #[test]
+    fn incremental_cache_survives_invalidate() {
+        let t = Topology::ring(7);
+        let mut s = NetworkState::all_up(&t);
+        let votes = uniform_votes(7);
+        let mut cache = ComponentCache::incremental();
+        assert_eq!(cache.view(&t, &s, &votes).votes_of(0), 7);
+        // Arbitrary state change without an event: invalidate must drop
+        // the kernel, and the next event rebuilds it from state.
+        s.set_site(2, false);
+        s.set_site(3, false);
+        cache.invalidate();
+        assert_eq!(cache.view(&t, &s, &votes).votes_of(0), 5);
+        s.set_site(3, true);
+        cache.apply_event(&t, &s, &votes, TopologyEvent::Site { site: 3, up: true });
+        assert_eq!(
+            cache.delta_counters().merges,
+            1,
+            "kernel built by view() absorbs later events incrementally"
+        );
+        let fresh = ComponentView::compute(&t, &s, &votes);
+        assert_eq!(cache.view(&t, &s, &votes), &fresh);
+    }
+
+    #[test]
+    fn event_before_first_view_counts_full_recompute() {
+        let t = Topology::ring(5);
+        let mut s = NetworkState::all_up(&t);
+        let votes = uniform_votes(5);
+        let mut cache = ComponentCache::incremental();
+        s.set_site(1, false);
+        cache.apply_event(&t, &s, &votes, TopologyEvent::Site { site: 1, up: false });
+        assert_eq!(cache.delta_counters().full_recomputes, 1);
+        assert_eq!(cache.delta_counters().total(), 1);
+        let fresh = ComponentView::compute(&t, &s, &votes);
+        assert_eq!(cache.view(&t, &s, &votes), &fresh);
+    }
+
+    #[test]
+    fn member_index_reads_match_scan() {
+        let t = Topology::ring(6);
+        let mut s = NetworkState::all_up(&t);
+        s.set_link(0, false);
+        s.set_link(3, false);
+        s.set_site(5, false);
+        let v = ComponentView::compute(&t, &s, &uniform_votes(6));
+        for id in 0..v.num_components() as u32 {
+            let via_iter: Vec<usize> = v.members_of_component(id).collect();
+            let via_bits: Vec<usize> = v.member_bits(id).iter_ones().collect();
+            assert_eq!(via_iter, via_bits);
+            assert_eq!(via_iter.len() as u32, v.component_sizes()[id as usize]);
+            for &m in &via_iter {
+                assert_eq!(v.component_of(m), id);
+            }
         }
     }
 

@@ -17,6 +17,11 @@
 //!   the up-subgraph, with a dirty-flag cache so the simulator only pays for
 //!   recomputation when topology events actually intervened between
 //!   accesses.
+//! * [`DeltaConnectivity`] — the incremental kernel behind
+//!   [`ComponentCache::incremental`]: recoveries merge components
+//!   (union-find over member bitsets), failures re-scan only the affected
+//!   component, provable no-ops are filtered, and all scans are
+//!   word-parallel over per-site adjacency bitsets.
 //! * [`BusNetwork`] — the single-bus architecture of §4.2 (both variants).
 //! * [`UnionFind`] — static connectivity helper used in tests/benches.
 //! * [`articulation_points`] — cut-vertex detection (Tarjan) feeding the
@@ -29,6 +34,7 @@ pub mod articulation;
 pub mod bitset;
 pub mod bus;
 pub mod connectivity;
+pub mod delta;
 pub mod state;
 pub mod topology;
 pub mod unionfind;
@@ -37,6 +43,7 @@ pub use articulation::{articulation_points, articulation_weighted_votes};
 pub use bitset::BitSet;
 pub use bus::{BusFailureMode, BusNetwork};
 pub use connectivity::{ComponentCache, ComponentView};
+pub use delta::{DeltaConnectivity, DeltaCounters, DeltaOutcome, TopologyEvent};
 pub use state::NetworkState;
 pub use topology::Topology;
 pub use unionfind::UnionFind;

@@ -56,6 +56,17 @@ impl NetworkState {
         changed
     }
 
+    /// The site up/down bits (read-only; word-level consumers like the
+    /// incremental connectivity kernel mask against this directly).
+    pub fn site_bits(&self) -> &BitSet {
+        &self.site_up
+    }
+
+    /// The link up/down bits (read-only).
+    pub fn link_bits(&self) -> &BitSet {
+        &self.link_up
+    }
+
     /// Number of operational sites.
     pub fn sites_up(&self) -> usize {
         self.site_up.count_ones()

@@ -49,6 +49,15 @@ pub mod keys {
     pub const CACHE_HITS: &str = "graph.component_cache.hits";
     /// Component-cache queries that recomputed the BFS.
     pub const CACHE_RECOMPUTATIONS: &str = "graph.component_cache.recomputations";
+    /// Topology events the incremental kernel absorbed by merging
+    /// components (recoveries; no BFS).
+    pub const DELTA_MERGES: &str = "graph.delta_merges";
+    /// Topology events absorbed by re-scanning one component (failures).
+    pub const DELTA_RESCANS: &str = "graph.delta_rescans";
+    /// Topology events filtered as provably partition-preserving.
+    pub const DELTA_NOOPS: &str = "graph.delta_noops";
+    /// Topology events absorbed by rebuilding the kernel from scratch.
+    pub const FULL_RECOMPUTES: &str = "graph.full_recomputes";
     /// Batches executed by a runner.
     pub const RUN_BATCHES: &str = "replica.batches";
     /// Worker threads the runner used.

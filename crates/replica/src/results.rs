@@ -54,6 +54,15 @@ pub struct BatchStats {
     pub cache_recomputations: u64,
     /// Accesses served without recomputation.
     pub cache_hits: u64,
+    /// Topology events the incremental kernel absorbed by merging
+    /// components (zero when the kernel is disabled).
+    pub delta_merges: u64,
+    /// Topology events absorbed by re-scanning one component.
+    pub delta_rescans: u64,
+    /// Topology events filtered as partition-preserving no-ops.
+    pub delta_noops: u64,
+    /// Topology events absorbed by a from-scratch kernel rebuild.
+    pub full_recomputes: u64,
     /// DES events popped from the future-event list (all kinds,
     /// including warm-up).
     pub events_processed: u64,
@@ -90,6 +99,10 @@ impl BatchStats {
             write_conflicts: 0,
             cache_recomputations: 0,
             cache_hits: 0,
+            delta_merges: 0,
+            delta_rescans: 0,
+            delta_noops: 0,
+            full_recomputes: 0,
             events_processed: 0,
             site_transitions: 0,
             link_transitions: 0,
@@ -200,6 +213,10 @@ impl BatchStats {
         self.write_conflicts += other.write_conflicts;
         self.cache_recomputations += other.cache_recomputations;
         self.cache_hits += other.cache_hits;
+        self.delta_merges += other.delta_merges;
+        self.delta_rescans += other.delta_rescans;
+        self.delta_noops += other.delta_noops;
+        self.full_recomputes += other.full_recomputes;
         self.events_processed += other.events_processed;
         self.site_transitions += other.site_transitions;
         self.link_transitions += other.link_transitions;
@@ -216,6 +233,10 @@ impl BatchStats {
         registry.add(keys::DES_ACCESSES, self.accesses_dispatched);
         registry.add(keys::CACHE_HITS, self.cache_hits);
         registry.add(keys::CACHE_RECOMPUTATIONS, self.cache_recomputations);
+        registry.add(keys::DELTA_MERGES, self.delta_merges);
+        registry.add(keys::DELTA_RESCANS, self.delta_rescans);
+        registry.add(keys::DELTA_NOOPS, self.delta_noops);
+        registry.add(keys::FULL_RECOMPUTES, self.full_recomputes);
     }
 }
 

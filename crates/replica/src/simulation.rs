@@ -20,7 +20,7 @@ use crate::workload::Workload;
 use quorum_core::protocol::{ConsistencyProtocol, Decision};
 use quorum_core::{Access, VoteAssignment};
 use quorum_des::{EventQueue, PoissonProcess, SimParams, SimTime};
-use quorum_graph::{ComponentCache, NetworkState, Topology};
+use quorum_graph::{ComponentCache, NetworkState, Topology, TopologyEvent};
 use quorum_stats::rng::{derive_seed, rng_from_seed};
 use quorum_stats::VoteHistogram;
 use rand::rngs::StdRng;
@@ -50,6 +50,7 @@ pub struct Simulation<'a> {
     batches_run: u64,
     probe_survivability: bool,
     time_weighted: bool,
+    delta_kernel: bool,
     site_reliabilities: Option<Vec<f64>>,
     link_reliabilities: Option<Vec<f64>>,
 }
@@ -136,9 +137,19 @@ impl<'a> Simulation<'a> {
             batches_run: 0,
             probe_survivability: false,
             time_weighted: false,
+            delta_kernel: true,
             site_reliabilities: None,
             link_reliabilities: None,
         }
+    }
+
+    /// Selects the component-maintenance kernel (default: incremental).
+    /// The reported numbers are bit-identical either way — pinned by
+    /// `tests/delta_kernel.rs` — so this knob exists for that pin test
+    /// and for benchmarking the kernels against each other.
+    pub fn with_delta_kernel(mut self, enable: bool) -> Self {
+        self.delta_kernel = enable;
+        self
     }
 
     /// Overrides the per-site reliabilities (links keep the global
@@ -240,7 +251,11 @@ impl<'a> Simulation<'a> {
         let mut workload_rng: StdRng = rng_from_seed(derive_seed(seed, 3));
 
         let mut state = NetworkState::all_up(self.topology);
-        let mut cache = ComponentCache::new();
+        let mut cache = if self.delta_kernel {
+            ComponentCache::incremental()
+        } else {
+            ComponentCache::new()
+        };
         let mut checker = SerializabilityChecker::new(n);
         let mut stats = BatchStats::new(n, total_votes);
 
@@ -271,6 +286,7 @@ impl<'a> Simulation<'a> {
         let target = warmup + self.params.batch_accesses;
         let mut accesses_seen = 0u64;
         let mut members_buf: Vec<usize> = Vec::with_capacity(n);
+        let mut surv_buf: Vec<usize> = Vec::with_capacity(n);
 
         let mut last_time = SimTime::ZERO;
         while accesses_seen < target {
@@ -291,7 +307,12 @@ impl<'a> Simulation<'a> {
                     stats.site_transitions += 1;
                     let (up, gap) = procs.site_transition(i, &mut fail_rng);
                     if state.set_site(i, up) {
-                        cache.invalidate();
+                        cache.apply_event(
+                            self.topology,
+                            &state,
+                            self.votes.as_slice(),
+                            TopologyEvent::Site { site: i, up },
+                        );
                     }
                     queue.schedule_in(gap, Event::SiteTransition(i));
                 }
@@ -299,7 +320,12 @@ impl<'a> Simulation<'a> {
                     stats.link_transitions += 1;
                     let (up, gap) = procs.link_transition(i, &mut fail_rng);
                     if state.set_link(i, up) {
-                        cache.invalidate();
+                        cache.apply_event(
+                            self.topology,
+                            &state,
+                            self.votes.as_slice(),
+                            TopologyEvent::Link { link: i, up },
+                        );
                     }
                     queue.schedule_in(gap, Event::LinkTransition(i));
                 }
@@ -316,11 +342,16 @@ impl<'a> Simulation<'a> {
                             members_buf.extend(view.members_of(site));
                         }
                         let largest = view.largest_component_votes();
+                        // Per-component member bitsets make this probe
+                        // allocation-free: the member fill reuses one
+                        // scratch buffer and the vote total is already
+                        // maintained per component.
                         let surv = self.probe_survivability
-                            && view.all_components().iter().any(|comp| {
-                                let comp_votes: u64 =
-                                    comp.iter().map(|&s| self.votes.votes_of(s)).sum();
-                                protocol.can_grant(kind, comp, comp_votes)
+                            && (0..view.num_components() as u32).any(|id| {
+                                surv_buf.clear();
+                                surv_buf.extend(view.members_of_component(id));
+                                let comp_votes = view.component_votes()[id as usize];
+                                protocol.can_grant(kind, &surv_buf, comp_votes)
                             });
                         (votes, largest, surv)
                     };
@@ -413,6 +444,11 @@ impl<'a> Simulation<'a> {
         }
         stats.cache_recomputations = cache.recomputations();
         stats.cache_hits = cache.hits();
+        let delta = cache.delta_counters();
+        stats.delta_merges = delta.merges;
+        stats.delta_rescans = delta.rescans;
+        stats.delta_noops = delta.noops;
+        stats.full_recomputes = delta.full_recomputes;
         stats.events_processed = queue.popped();
         stats.accesses_dispatched = accesses_seen;
         stats

@@ -1,0 +1,241 @@
+//! Equivalence pinning for the incremental connectivity kernel.
+//!
+//! The contract under test: kernel choice must never change a reported
+//! number. [`ComponentCache::incremental`] (merge on recovery, single-
+//! component rescan on failure, no-op filtering) must produce component
+//! views bit-identical to the reference [`ComponentView::compute`] after
+//! *every* event of *any* event sequence, and both simulation engines
+//! must report bit-identical batch statistics with the kernel on or off.
+
+use proptest::prelude::*;
+use quorum_cluster::{ClusterConfig, ClusterEngine};
+use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
+use quorum_des::SimParams;
+use quorum_graph::{ComponentCache, ComponentView, NetworkState, Topology, TopologyEvent};
+use quorum_replica::simulation::NullObserver;
+use quorum_replica::{Simulation, Workload};
+
+/// The topology families named by the paper's §5 experiments plus the
+/// weighted-bus encoding (star whose hub carries zero votes).
+fn family(kind: usize, n: usize) -> (Topology, Vec<u64>) {
+    let n = n.max(5);
+    match kind % 4 {
+        0 => (Topology::ring(n), vec![1; n]),
+        1 => {
+            // Weighted votes: exercise non-uniform component vote sums.
+            let votes = (0..n).map(|i| (i % 3 + 1) as u64).collect();
+            (Topology::ring_with_chords(n, n / 2), votes)
+        }
+        2 => {
+            // Bus as in the §4.2 experiments: hub relays but votes 0.
+            let mut votes = vec![1u64; n];
+            votes[0] = 0;
+            (Topology::star(n), votes)
+        }
+        _ => (Topology::star(n), vec![1; n]),
+    }
+}
+
+/// Applies one toggle chosen by `pick`, keeping every event a real
+/// transition (`up = !current`). Returns the event applied.
+fn toggle(state: &mut NetworkState, topo: &Topology, pick: usize) -> TopologyEvent {
+    let n = topo.num_sites();
+    let m = topo.num_links();
+    let idx = pick % (n + m);
+    if idx < n {
+        let up = !state.site_up(idx);
+        assert!(state.set_site(idx, up));
+        TopologyEvent::Site { site: idx, up }
+    } else {
+        let link = idx - n;
+        let up = !state.link_up(link);
+        assert!(state.set_link(link, up));
+        TopologyEvent::Link { link, up }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every event of a random sequence, the incremental cache's
+    /// view equals the reference BFS bit-for-bit: same `comp_id`, same
+    /// vote sums, same sizes, same member bitsets.
+    #[test]
+    fn random_event_sequences_match_reference(
+        kind in 0usize..4,
+        n in 4usize..22,
+        picks in proptest::collection::vec(0usize..10_000, 1..70),
+    ) {
+        let (topo, votes) = family(kind, n);
+        let mut state = NetworkState::all_up(&topo);
+        let mut cache = ComponentCache::incremental();
+        // Materialize before any event so merges/rescans (not rebuild
+        // fallbacks) carry the sequence.
+        cache.view(&topo, &state, &votes);
+        for &pick in &picks {
+            let ev = toggle(&mut state, &topo, pick);
+            cache.apply_event(&topo, &state, &votes, ev);
+            let expected = ComponentView::compute(&topo, &state, &votes);
+            prop_assert_eq!(cache.view(&topo, &state, &votes), &expected);
+        }
+    }
+
+    /// Every applied event lands in exactly one fast-path counter, so
+    /// the counter sum equals the event count (the invariant the CI jq
+    /// gate asserts on run manifests).
+    #[test]
+    fn counter_sum_equals_event_count(
+        kind in 0usize..4,
+        n in 4usize..22,
+        picks in proptest::collection::vec(0usize..10_000, 1..70),
+    ) {
+        let (topo, votes) = family(kind, n);
+        let mut state = NetworkState::all_up(&topo);
+        let mut cache = ComponentCache::incremental();
+        for &pick in &picks {
+            let ev = toggle(&mut state, &topo, pick);
+            cache.apply_event(&topo, &state, &votes, ev);
+        }
+        prop_assert_eq!(cache.delta_counters().total(), picks.len() as u64);
+    }
+}
+
+/// Everything down, then everything back up: the emptiest and fullest
+/// component structures, reached through pure fast paths.
+#[test]
+fn all_down_then_all_up_matches_reference() {
+    let (topo, votes) = family(1, 12);
+    let mut state = NetworkState::all_up(&topo);
+    let mut cache = ComponentCache::incremental();
+    cache.view(&topo, &state, &votes);
+    let n = topo.num_sites();
+    for phase in [false, true] {
+        for s in 0..n {
+            assert!(state.set_site(s, phase));
+            cache.apply_event(
+                &topo,
+                &state,
+                &votes,
+                TopologyEvent::Site { site: s, up: phase },
+            );
+            let expected = ComponentView::compute(&topo, &state, &votes);
+            assert_eq!(cache.view(&topo, &state, &votes), &expected);
+        }
+    }
+    assert_eq!(cache.view(&topo, &state, &votes).num_components(), 1);
+}
+
+/// Hub failure on a star shatters one component into n−1 singletons in a
+/// single rescan; hub recovery re-merges them.
+#[test]
+fn star_hub_failure_and_recovery_match_reference() {
+    let (topo, votes) = family(3, 9);
+    let mut state = NetworkState::all_up(&topo);
+    let mut cache = ComponentCache::incremental();
+    cache.view(&topo, &state, &votes);
+    for up in [false, true] {
+        assert!(state.set_site(0, up));
+        cache.apply_event(&topo, &state, &votes, TopologyEvent::Site { site: 0, up });
+        let expected = ComponentView::compute(&topo, &state, &votes);
+        assert_eq!(cache.view(&topo, &state, &votes), &expected);
+        let want = if up { 1 } else { topo.num_sites() - 1 };
+        assert_eq!(cache.view(&topo, &state, &votes).num_components(), want);
+    }
+    let counters = cache.delta_counters();
+    assert_eq!(counters.rescans, 1, "hub failure is one component rescan");
+    assert_eq!(counters.merges, 1, "hub recovery is one merge cascade");
+}
+
+fn pin_params() -> SimParams {
+    SimParams {
+        warmup_accesses: 1_000,
+        batch_accesses: 8_000,
+        ..SimParams::quick()
+    }
+}
+
+/// The replica engine reports bit-identical batch statistics with the
+/// kernel on or off, on the same seeds — including the survivability
+/// probe, which reads components through the new member index.
+#[test]
+fn replica_stats_identical_kernel_on_or_off() {
+    let topo = Topology::ring_with_chords(21, 8);
+    let votes = VoteAssignment::weighted((0..21).map(|i| (i % 4 + 1) as u64).collect());
+    let spec = QuorumSpec::majority(votes.total());
+    let workload = Workload::uniform(21, 0.6);
+
+    let run = |kernel: bool| {
+        let mut sim =
+            Simulation::with_votes(&topo, pin_params(), votes.clone(), workload.clone(), 97)
+                .probe_survivability(true)
+                .with_delta_kernel(kernel);
+        let mut proto = QuorumConsensus::new(votes.clone(), spec);
+        (0..3)
+            .map(|b| sim.run_indexed_batch(&mut proto, &mut NullObserver, b))
+            .collect::<Vec<_>>()
+    };
+    let on = run(true);
+    let off = run(false);
+
+    for (a, b) in on.iter().zip(&off) {
+        assert_eq!(a.reads_submitted, b.reads_submitted);
+        assert_eq!(a.reads_granted, b.reads_granted);
+        assert_eq!(a.writes_submitted, b.writes_submitted);
+        assert_eq!(a.writes_granted, b.writes_granted);
+        assert_eq!(a.surv_possible, b.surv_possible);
+        assert_eq!(a.contact_messages, b.contact_messages);
+        assert_eq!(a.stale_reads, b.stale_reads);
+        assert_eq!(a.write_conflicts, b.write_conflicts);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.site_transitions, b.site_transitions);
+        assert_eq!(a.link_transitions, b.link_transitions);
+        assert_eq!(a.accesses_dispatched, b.accesses_dispatched);
+        assert_eq!(a.cache_hits, b.cache_hits, "hit accounting must not drift");
+        assert_eq!(a.cache_recomputations, b.cache_recomputations);
+        // The kernels differ only in the fast-path counters.
+        assert_eq!(
+            a.delta_merges + a.delta_rescans + a.delta_noops + a.full_recomputes,
+            a.site_transitions + a.link_transitions,
+            "every transition classified exactly once"
+        );
+        assert_eq!(
+            b.delta_merges + b.delta_rescans + b.delta_noops + b.full_recomputes,
+            0
+        );
+    }
+}
+
+/// The cluster engine's full `ClusterStats` (outcomes, messages,
+/// latencies, goodput) is bit-identical with the kernel on or off.
+#[test]
+fn cluster_stats_identical_kernel_on_or_off() {
+    let topo = Topology::ring_with_chords(17, 6);
+    let votes = VoteAssignment::uniform(17);
+    let spec = QuorumSpec::majority(votes.total());
+    let workload = Workload::uniform(17, 0.5);
+
+    let run = |kernel: bool| {
+        let mut cfg = ClusterConfig::new(pin_params());
+        cfg.delta_kernel = kernel;
+        let mut engine =
+            ClusterEngine::with_votes(&topo, cfg, spec, votes.clone(), workload.clone(), 53);
+        (0..2)
+            .map(|b| engine.run_indexed_batch(b))
+            .collect::<Vec<_>>()
+    };
+    let on = run(true);
+    let off = run(false);
+
+    for (a, b) in on.iter().zip(&off) {
+        assert_eq!(
+            a.delta_merges + a.delta_rescans + a.delta_noops + a.full_recomputes,
+            a.site_transitions + a.link_transitions
+        );
+        let mut a = a.clone();
+        a.delta_merges = 0;
+        a.delta_rescans = 0;
+        a.delta_noops = 0;
+        a.full_recomputes = 0;
+        assert_eq!(&a, b, "kernel choice changed a cluster statistic");
+    }
+}
