@@ -26,7 +26,8 @@ fn bench_figures(c: &mut Criterion) {
                     let results = run_static(
                         &topo,
                         VoteAssignment::uniform(101),
-                        QuorumSpec::from_read_quorum(50, 101).unwrap(),
+                        QuorumSpec::from_read_quorum(50, 101)
+                            .expect("(50, 52) of 101 satisfies both quorum rules"),
                         Workload::uniform(101, 0.5),
                         RunConfig {
                             params: SimParams {

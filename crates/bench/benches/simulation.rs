@@ -28,7 +28,8 @@ fn bench_batches(c: &mut Criterion) {
                     let mut sim = Simulation::new(&topo, params, Workload::uniform(101, 0.5), 99);
                     let mut proto = QuorumConsensus::new(
                         VoteAssignment::uniform(101),
-                        QuorumSpec::from_read_quorum(50, 101).unwrap(),
+                        QuorumSpec::from_read_quorum(50, 101)
+                            .expect("(50, 52) of 101 satisfies both quorum rules"),
                     );
                     batch += 1;
                     black_box(sim.run_indexed_batch(&mut proto, &mut NullObserver, batch))

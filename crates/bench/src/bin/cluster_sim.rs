@@ -25,6 +25,8 @@
 //!            --latency 0.02 --loss 0.02 --timeout 0.25 --retries 3
 //!            --seed 11 --quick --sweep --ideal --manifest run.json]
 
+#![forbid(unsafe_code)]
+
 use quorum_bench::{default_threads, manifest, pct, print_table, run_jobs, Args, Scale};
 use quorum_cluster::{
     run_cluster, run_cluster_observed, ClusterConfig, LatencyDist, NetConfig, RunOptions,

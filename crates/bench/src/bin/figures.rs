@@ -14,6 +14,8 @@
 //!   * all α-curves converge at q_r = ⌊T/2⌋ = 50;
 //!   * curve maxima land at the endpoints (except Topology 16, α = .75).
 
+#![forbid(unsafe_code)]
+
 use quorum_bench::{default_threads, manifest, pct, print_table, Args, Scale};
 use quorum_core::metrics::AvailabilityMetric;
 use quorum_core::{QuorumSpec, SearchStrategy, VoteAssignment};

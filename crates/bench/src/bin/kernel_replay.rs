@@ -22,6 +22,8 @@
 //!        [-- --paper-scale --threads 2 --seed 11 --events 50000
 //!            --manifest results/BENCH_PR.json]
 
+#![forbid(unsafe_code)]
+
 use quorum_bench::{manifest, print_table, run_jobs, Args, Scale};
 use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
 use quorum_graph::{ComponentCache, DeltaConnectivity, NetworkState, Topology, TopologyEvent};

@@ -13,16 +13,21 @@
 
 use parking_lot::Mutex;
 use quorum_des::SimParams;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 pub mod manifest;
 pub mod validate;
 
 /// Minimal `--key value` / `--flag` argument parser.
+///
+/// Values live in a `BTreeMap` (quorum-lint `no-unordered-iteration`):
+/// today only keyed lookup happens here, but argument maps are exactly
+/// the kind of state that later grows a "dump all options into the
+/// manifest" loop, and that loop must be ordered from day one.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     flags: Vec<String>,
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
 }
 
 impl Args {

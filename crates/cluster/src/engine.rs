@@ -49,7 +49,7 @@ use quorum_replica::Workload;
 use quorum_stats::rng::{derive_seed, rng_from_seed};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One scheduled event of the cluster event loop.
 #[derive(Debug, Clone, Copy)]
@@ -299,7 +299,7 @@ impl<'a> ClusterEngine<'a> {
                 };
                 n
             ],
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_session: NO_SESSION + 1,
             checker: FreshnessChecker::new(),
             stats,
@@ -379,7 +379,10 @@ struct Batch<'a> {
     access_proc: PoissonProcess,
     workload: Workload,
     sites: Vec<SiteState>,
-    sessions: HashMap<SessionId, Session>,
+    // Ordered by session id (quorum-lint `no-unordered-iteration`):
+    // all access today is keyed, but any future drain/sweep over open
+    // sessions feeds stats and must see a deterministic order.
+    sessions: BTreeMap<SessionId, Session>,
     next_session: SessionId,
     checker: FreshnessChecker,
     stats: ClusterStats,

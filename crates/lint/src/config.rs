@@ -1,0 +1,469 @@
+//! `lint.toml` loading: rule scoping and the `file:line`-anchored
+//! allowlist.
+//!
+//! The environment is offline (no `toml` crate), so this module parses
+//! the small TOML subset the config actually uses: `[section]` /
+//! `[[array-of-table]]` headers, `key = "string" | integer | bool |
+//! [array of strings]`, and `#` comments. Anything outside that subset
+//! is a hard error — a silently misread config is worse than none,
+//! because it turns rules off without anyone noticing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[allow]]` entry: suppresses exactly one finding of `rule` at
+/// `file:line`. Entries that suppress nothing are *stale* and fail the
+/// run — an anchored line that drifted means the justification below it
+/// no longer describes the code it was written for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to, e.g. `"no-wall-clock"`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line the finding sits on.
+    pub line: u32,
+    /// Human justification; required, and printed when the entry goes
+    /// stale so the reviewer knows what claim needs re-checking.
+    pub reason: String,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} ({})",
+            self.file, self.line, self.rule, self.reason
+        )
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Path prefixes the rule is restricted to (empty = whole tree).
+    pub paths: Vec<String>,
+    /// Glob patterns naming crate-root files (only used by
+    /// `forbid-unsafe`).
+    pub roots: Vec<String>,
+    /// Whether the rule also fires inside `#[cfg(test)]` / `#[test]`
+    /// items. Defaults to false (rules guard shipped behavior; tests
+    /// may e.g. read wall-clock to assert timeouts).
+    pub include_tests: bool,
+    /// Strict mode for `no-unordered-iteration`: flag `HashMap`/`HashSet`
+    /// *declarations* in scoped paths, not just iteration sites, so
+    /// membership-only uses need an explicit allowlisted justification.
+    pub forbid_types: bool,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Directory prefixes to scan (default: `crates`, `examples`,
+    /// `tests`).
+    pub include: Vec<String>,
+    /// Path prefixes to skip (fixture trees, vendored code).
+    pub exclude: Vec<String>,
+    /// Per-rule settings keyed by rule id; a missing entry means the
+    /// rule runs with defaults.
+    pub rules: BTreeMap<String, RuleConfig>,
+    /// Allowlist entries.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// The scan roots, with defaults applied.
+    pub fn include_or_default(&self) -> Vec<String> {
+        if self.include.is_empty() {
+            vec!["crates".into(), "examples".into(), "tests".into()]
+        } else {
+            self.include.clone()
+        }
+    }
+
+    /// Settings for `rule` (defaults if unconfigured).
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses the TOML-subset text of a `lint.toml`.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        // Current insertion target: which table the next `key = value`
+        // lands in.
+        enum Target {
+            None,
+            Workspace,
+            Rule(String),
+            Allow,
+        }
+        let mut target = Target::None;
+
+        // Logical lines: a `key = [` array may span physical lines until
+        // its closing `]`.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        let mut pending: Option<(usize, String)> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let piece = strip_comment(raw).trim().to_string();
+            if let Some((start, mut acc)) = pending.take() {
+                acc.push(' ');
+                acc.push_str(&piece);
+                if piece.ends_with(']') {
+                    logical.push((start, acc));
+                } else {
+                    pending = Some((start, acc));
+                }
+                continue;
+            }
+            if piece.is_empty() {
+                continue;
+            }
+            if piece.contains("= [") && !piece.ends_with(']') {
+                pending = Some((idx + 1, piece));
+            } else {
+                logical.push((idx + 1, piece));
+            }
+        }
+        if let Some((start, _)) = pending {
+            return Err(format!("line {start}: unterminated array"));
+        }
+
+        for (lineno, line) in &logical {
+            let (lineno, line) = (*lineno, line.as_str());
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                match header.trim() {
+                    "allow" => {
+                        cfg.allow.push(AllowEntry {
+                            rule: String::new(),
+                            file: String::new(),
+                            line: 0,
+                            reason: String::new(),
+                        });
+                        target = Target::Allow;
+                    }
+                    other => return Err(format!("line {lineno}: unknown table [[{other}]]")),
+                }
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                if header == "workspace" {
+                    target = Target::Workspace;
+                } else if let Some(rule) = header.strip_prefix("rules.") {
+                    cfg.rules.entry(rule.to_string()).or_default();
+                    target = Target::Rule(rule.to_string());
+                } else {
+                    return Err(format!("line {lineno}: unknown table [{header}]"));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = Value::parse(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            match &target {
+                Target::None => {
+                    return Err(format!("line {lineno}: `{key}` outside any table"));
+                }
+                Target::Workspace => match key {
+                    "include" => cfg.include = value.strings(key)?,
+                    "exclude" => cfg.exclude = value.strings(key)?,
+                    _ => return Err(format!("line {lineno}: unknown workspace key `{key}`")),
+                },
+                Target::Rule(rule) => {
+                    let rc = cfg.rules.get_mut(rule).expect("table created at header");
+                    match key {
+                        "paths" => rc.paths = value.strings(key)?,
+                        "roots" => rc.roots = value.strings(key)?,
+                        "include_tests" => rc.include_tests = value.boolean(key)?,
+                        "forbid_types" => rc.forbid_types = value.boolean(key)?,
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: unknown key `{key}` for rule `{rule}`"
+                            ))
+                        }
+                    }
+                }
+                Target::Allow => {
+                    let entry = cfg.allow.last_mut().expect("entry created at header");
+                    match key {
+                        "rule" => entry.rule = value.string(key)?,
+                        "file" => entry.file = value.string(key)?,
+                        "line" => entry.line = value.integer(key)? as u32,
+                        "reason" => entry.reason = value.string(key)?,
+                        _ => return Err(format!("line {lineno}: unknown allow key `{key}`")),
+                    }
+                }
+            }
+        }
+
+        for (i, entry) in cfg.allow.iter().enumerate() {
+            if entry.rule.is_empty() || entry.file.is_empty() || entry.line == 0 {
+                return Err(format!(
+                    "[[allow]] entry {} is incomplete: rule, file, and line are all required",
+                    i + 1
+                ));
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] entry {}:{} ({}) has no reason — every exception must say why",
+                    entry.file, entry.line, entry.rule
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting `"..."` strings on the line.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// A parsed TOML-subset value.
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+impl Value {
+    fn parse(text: &str) -> Result<Value, String> {
+        if let Some(rest) = text.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or("unterminated array (arrays must be single-line)")?;
+            let mut items = Vec::new();
+            for part in split_top_level(inner) {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match Value::parse(part)? {
+                    Value::Str(s) => items.push(s),
+                    _ => return Err("arrays may only contain strings".into()),
+                }
+            }
+            return Ok(Value::Array(items));
+        }
+        if let Some(rest) = text.strip_prefix('"') {
+            let inner = rest.strip_suffix('"').ok_or("unterminated string")?;
+            // The config subset needs no escapes beyond literal text.
+            if inner.contains('\\') {
+                return Err("escape sequences are not supported in lint.toml strings".into());
+            }
+            return Ok(Value::Str(inner.to_string()));
+        }
+        if text == "true" {
+            return Ok(Value::Bool(true));
+        }
+        if text == "false" {
+            return Ok(Value::Bool(false));
+        }
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("cannot parse value `{text}`"))
+    }
+
+    fn string(self, key: &str) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("`{key}` must be a string")),
+        }
+    }
+
+    fn integer(self, key: &str) -> Result<i64, String> {
+        match self {
+            Value::Int(i) => Ok(i),
+            _ => Err(format!("`{key}` must be an integer")),
+        }
+    }
+
+    fn boolean(self, key: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            _ => Err(format!("`{key}` must be a boolean")),
+        }
+    }
+
+    fn strings(self, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::Array(v) => Ok(v),
+            _ => Err(format!("`{key}` must be an array of strings")),
+        }
+    }
+}
+
+/// Splits on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Segment-wise glob match: `*` within a segment matches any substring
+/// of that segment; there is no `**`. Paths use forward slashes.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat_segs: Vec<&str> = pattern.split('/').collect();
+    let path_segs: Vec<&str> = path.split('/').collect();
+    if pat_segs.len() != path_segs.len() {
+        return false;
+    }
+    pat_segs
+        .iter()
+        .zip(&path_segs)
+        .all(|(p, s)| segment_match(p, s))
+}
+
+fn segment_match(pattern: &str, segment: &str) -> bool {
+    // Greedy-with-backtracking `*` match over bytes.
+    let (p, s) = (pattern.as_bytes(), segment.as_bytes());
+    let (mut pi, mut si) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            pi = sp + 1;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# determinism lint config
+[workspace]
+include = ["crates", "examples"]
+exclude = ["crates/lint/tests"]
+
+[rules.no-float-eq]
+paths = ["crates/core", "crates/stats"]
+
+[rules.no-unseeded-rng]
+include_tests = true
+
+[rules.forbid-unsafe]
+roots = ["crates/*/src/lib.rs", "crates/*/src/bin/*.rs"]
+
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/stats/src/converge.rs"
+line = 120  # trailing comment
+reason = "utilization accounting measures wall-clock by design"
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.include, vec!["crates", "examples"]);
+        assert_eq!(cfg.exclude, vec!["crates/lint/tests"]);
+        assert_eq!(
+            cfg.rule("no-float-eq").paths,
+            vec!["crates/core", "crates/stats"]
+        );
+        assert!(cfg.rule("no-unseeded-rng").include_tests);
+        assert!(!cfg.rule("no-wall-clock").include_tests);
+        assert_eq!(cfg.rule("forbid-unsafe").roots.len(), 2);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].line, 120);
+        assert!(cfg.allow[0].reason.contains("utilization"));
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let text = "
+[rules.forbid-unsafe]
+roots = [
+    \"crates/*/src/lib.rs\",  # libs
+    \"tests/*.rs\",
+]
+";
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(
+            cfg.rule("forbid-unsafe").roots,
+            vec!["crates/*/src/lib.rs", "tests/*.rs"]
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let text = r#"
+[[allow]]
+rule = "no-wall-clock"
+file = "a.rs"
+line = 3
+reason = "  "
+"#;
+        let err = Config::parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_allow_is_rejected() {
+        let text = "[[allow]]\nrule = \"no-wall-clock\"\n";
+        assert!(Config::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(Config::parse("[workspace]\nfrobnicate = true\n").is_err());
+        assert!(Config::parse("[somewhere]\n").is_err());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("crates/*/src/lib.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match(
+            "crates/*/src/bin/*.rs",
+            "crates/bench/src/bin/figures.rs"
+        ));
+        assert!(!glob_match(
+            "crates/*/src/lib.rs",
+            "crates/core/src/quorum.rs"
+        ));
+        assert!(!glob_match(
+            "crates/*/src/lib.rs",
+            "crates/core/src/a/lib.rs"
+        ));
+        assert!(glob_match("examples/*.rs", "examples/quickstart.rs"));
+        assert!(glob_match("tests/lib.rs", "tests/lib.rs"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Workspace walking, allowlist application, and report assembly.
+
+use crate::config::{AllowEntry, Config};
+use crate::rules::{check_file, Finding, SourceFile};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of one lint run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Findings that survived the allowlist, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing — stale anchors whose
+    /// `file:line` drifted (or whose finding was fixed without removing
+    /// the entry). Always a hard error.
+    pub stale: Vec<AllowEntry>,
+    /// Findings suppressed by the allowlist.
+    pub suppressed: usize,
+    /// Files checked.
+    pub files: usize,
+}
+
+impl Outcome {
+    /// Process exit code: 0 clean, 1 findings, 2 stale allowlist.
+    pub fn exit_code(&self) -> i32 {
+        if !self.stale.is_empty() {
+            2
+        } else if !self.findings.is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root` under `config`.
+///
+/// Walks the configured include directories (default `crates`,
+/// `examples`, `tests`), skipping `exclude` prefixes, `target`, and
+/// `third_party` (vendored stubs are not this workspace's code).
+pub fn run(root: &Path, config: &Config) -> Result<Outcome, String> {
+    let mut files = Vec::new();
+    for inc in config.include_or_default() {
+        let dir = root.join(&inc);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)
+                .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
+    }
+    // Deterministic order regardless of readdir order.
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = relative(root, path);
+        if is_excluded(&rel, config) {
+            continue;
+        }
+        let src = fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        let file = SourceFile::new(&rel, &src);
+        check_file(&file, config, &mut findings);
+        checked += 1;
+    }
+    findings.sort();
+    findings.dedup();
+
+    Ok(apply_allowlist(findings, &config.allow, checked))
+}
+
+/// Lints in-memory sources (path → contents); the fixture harness and
+/// unit tests drive the exact engine CI runs, filesystem aside.
+pub fn run_sources(sources: &[(&str, &str)], config: &Config) -> Outcome {
+    let mut findings = Vec::new();
+    for (path, src) in sources {
+        if is_excluded(path, config) {
+            continue;
+        }
+        let file = SourceFile::new(path, src);
+        check_file(&file, config, &mut findings);
+    }
+    findings.sort();
+    findings.dedup();
+    apply_allowlist(findings, &config.allow, sources.len())
+}
+
+fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry], files: usize) -> Outcome {
+    let mut used = vec![false; allow.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let hit = allow
+            .iter()
+            .position(|a| a.rule == f.rule && a.file == f.file && a.line == f.line);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = allow
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    Outcome {
+        findings: kept,
+        stale,
+        suppressed,
+        files,
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "third_party" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Forward slashes so config anchors are platform-stable.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn is_excluded(rel: &str, config: &Config) -> bool {
+    config
+        .exclude
+        .iter()
+        .any(|e| rel == e || rel.starts_with(&format!("{e}/")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(toml: &str) -> Config {
+        Config::parse(toml).unwrap()
+    }
+
+    #[test]
+    fn allowlist_suppresses_exact_match_only() {
+        let cfg = config(
+            r#"
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/x/src/a.rs"
+line = 1
+reason = "driver wall-clock is the measured quantity"
+"#,
+        );
+        let out = run_sources(
+            &[(
+                "crates/x/src/a.rs",
+                "fn t() { let a = Instant::now(); }\nfn u() { let b = Instant::now(); }",
+            )],
+            &cfg,
+        );
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 2);
+        assert!(out.stale.is_empty());
+        assert_eq!(out.exit_code(), 1);
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_a_hard_error() {
+        let cfg = config(
+            r#"
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/x/src/a.rs"
+line = 5  # drifted: the finding is on line 1
+reason = "was justified once"
+"#,
+        );
+        let out = run_sources(
+            &[("crates/x/src/a.rs", "fn t() { let a = Instant::now(); }")],
+            &cfg,
+        );
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.exit_code(), 2, "stale beats plain findings");
+    }
+
+    #[test]
+    fn clean_run_exits_zero() {
+        let out = run_sources(
+            &[("crates/x/src/a.rs", "pub fn f(x: u64) -> u64 { x + 1 }")],
+            &Config::default(),
+        );
+        assert!(out.findings.is_empty());
+        assert_eq!(out.exit_code(), 0);
+    }
+
+    #[test]
+    fn exclude_prefixes_skip_files() {
+        let cfg = config("[workspace]\nexclude = [\"crates/lint/tests\"]\n");
+        let out = run_sources(
+            &[(
+                "crates/lint/tests/fixtures/bad.rs",
+                "fn t() { Instant::now(); }",
+            )],
+            &cfg,
+        );
+        assert!(out.findings.is_empty());
+    }
+}

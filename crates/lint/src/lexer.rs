@@ -1,0 +1,562 @@
+//! A minimal Rust lexer: just enough token structure for the rule
+//! engine to pattern-match reliably.
+//!
+//! The build environment is offline, so `syn` is unavailable; full AST
+//! fidelity is also unnecessary — every rule in [`crate::rules`] is a
+//! token-sequence property (`Instant :: now`, `#![forbid(unsafe_code)]`,
+//! `== <float>`), not a type-level one. What *does* matter, and what a
+//! regex over raw text gets wrong, is that matches never come from
+//! comments, doc comments, or string literals, and that line numbers are
+//! exact. The lexer handles nested block comments, escapes, raw/byte
+//! strings, and the `'a` lifetime vs `'a'` char ambiguity so the rules
+//! can treat the token stream as ground truth.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules don't need the distinction).
+    Ident,
+    /// Punctuation. Multi-char operators the rules match on (`::`, `==`,
+    /// `!=`) are fused into one token; everything else is single-char.
+    Punct,
+    /// String literal (normal, raw, byte, or byte-raw), content dropped.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (has a fractional part, exponent, or an
+    /// `f32`/`f64` suffix).
+    Float,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for string literals — contents are
+    /// irrelevant to every rule and omitting them keeps match surfaces
+    /// out of literals by construction).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexes Rust source into a token stream.
+///
+/// Unterminated constructs (a dangling string or block comment) lex to
+/// the end of input rather than erroring: the linter must degrade to
+/// "no findings in the damaged tail", never crash, because it runs on
+/// work-in-progress trees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a `"`-delimited string with escapes. `pos` is at the
+    /// opening quote.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Consumes `r"..."` / `r#"..."#` (any `#` depth). `pos` is at the
+    /// first `#` or quote after the `r`/`br` prefix.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    /// `pos` is at the opening quote.
+    fn quote(&mut self) {
+        let line = self.line;
+        // Escape ⇒ unambiguously a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // quote + backslash
+            self.pos += 1; // escaped byte (enough for \' \\ \n \u{...} scanning below)
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.push(TokKind::Char, String::new(), line);
+            return;
+        }
+        // `'ident` not followed by a closing quote ⇒ lifetime.
+        let mut end = self.pos + 1;
+        while end < self.bytes.len()
+            && (self.bytes[end] == b'_' || self.bytes[end].is_ascii_alphanumeric())
+        {
+            end += 1;
+        }
+        if end > self.pos + 1 && self.bytes.get(end) != Some(&b'\'') {
+            let text = self.src[self.pos..end].to_string();
+            self.pos = end;
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal (possibly multi-byte UTF-8): scan to closing quote.
+        self.pos += 1;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            // Fractional part: `1.5` yes, `1.method()` and `0..n` no.
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+                && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                        && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+            {
+                float = true;
+                self.pos += 1;
+                if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            // Type suffix (`1f64`, `2u32`).
+            let suffix_start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, self.src[start..self.pos].to_string(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        // Raw/byte string and byte-char prefixes.
+        let next = self.peek(0);
+        match (text, next) {
+            ("r" | "br" | "b" | "rb", Some(b'"')) | ("r" | "br" | "rb", Some(b'#')) => {
+                self.raw_or_plain_string(text);
+                return;
+            }
+            ("b", Some(b'\'')) => {
+                self.quote();
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text.to_string(), line);
+    }
+
+    fn raw_or_plain_string(&mut self, prefix: &str) {
+        if prefix == "b" {
+            self.string()
+        } else {
+            self.raw_string()
+        }
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let b = self.bytes[self.pos];
+        let two = match (b, self.peek(1)) {
+            (b':', Some(b':')) => Some("::"),
+            (b'=', Some(b'=')) => Some("=="),
+            (b'!', Some(b'=')) => Some("!="),
+            _ => None,
+        };
+        if let Some(t) = two {
+            self.pos += 2;
+            self.push(TokKind::Punct, t.to_string(), line);
+        } else {
+            self.pos += 1;
+            self.push(TokKind::Punct, (b as char).to_string(), line);
+        }
+    }
+}
+
+/// Returns a per-token mask marking tokens inside test-only items:
+/// anything annotated `#[cfg(test)]` or `#[test]` (the annotated item's
+/// full body, found by brace matching).
+///
+/// Rules use the mask to skip test code where a rule's config says so —
+/// e.g. wall-clock reads in a latency assertion are fine, wall-clock in
+/// an event scheduler is not.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attr(toks, i) {
+            // Cover from the attribute through the end of the item it
+            // annotates: skip any further attributes, then brace-match.
+            let start = i;
+            let mut j = skip_attr(toks, i);
+            while is_attr_start(toks, j) {
+                j = skip_attr(toks, j);
+            }
+            // Find the item body `{ ... }`, stopping at `;` for
+            // braceless items (`#[cfg(test)] use helpers;`).
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.min(toks.len().saturating_sub(1));
+            for m in mask.iter_mut().take(end + 1).skip(start) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+fn is_attr_start(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct("#")) && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+}
+
+/// True if tokens at `i` start `#[test]`, `#[cfg(test)]`, or a
+/// `cfg`-list containing `test` (`#[cfg(any(test, feature = "x"))]`).
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    if !is_attr_start(toks, i) {
+        return false;
+    }
+    let end = skip_attr(toks, i);
+    let body = &toks[i + 2..end.saturating_sub(1).max(i + 2)];
+    match body.first() {
+        Some(t) if t.is_ident("test") && body.len() == 1 => true,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Returns the index just past the `]` closing the attribute at `i`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r##"
+            // Instant::now in a comment
+            /* HashMap /* nested */ SystemTime */
+            let s = "thread_rng inside a string";
+            let r = r#"Instant::now "quoted" raw"#;
+            let b = b"from_entropy";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "from_entropy"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let kinds: Vec<_> = lex("1 1.5 2e3 1e-9 3f64 7u32 0.5 0xff 0..n")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokKind::Int);
+        assert_eq!(kinds[1], TokKind::Float);
+        assert_eq!(kinds[2], TokKind::Float);
+        assert_eq!(kinds[3], TokKind::Float);
+        assert_eq!(kinds[4], TokKind::Float);
+        assert_eq!(kinds[5], TokKind::Int);
+        assert_eq!(kinds[6], TokKind::Float);
+        assert_eq!(kinds[7], TokKind::Int);
+        // `0..n` must not lex `0.` as a float.
+        assert_eq!(kinds[8], TokKind::Int);
+    }
+
+    #[test]
+    fn fused_operators_and_lines() {
+        let toks = lex("a == b\n  c::d != e");
+        let eq = toks.iter().find(|t| t.is_punct("==")).unwrap();
+        assert_eq!(eq.line, 1);
+        let path = toks.iter().find(|t| t.is_punct("::")).unwrap();
+        assert_eq!(path.line, 2);
+        assert!(toks.iter().any(|t| t.is_punct("!=")));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_module() {
+        let src = r#"
+            fn real() { now(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { now(); }
+            }
+            fn also_real() { now(); }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let nows: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("now"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(nows, vec![false, true, false]);
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_with_extra_attrs() {
+        let src = r#"
+            #[test]
+            #[should_panic(expected = "boom")]
+            fn explodes() { now(); }
+            fn real() { now(); }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let nows: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("now"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(nows, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_treated_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))] mod m { fn f() { now(); } }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let idx = toks.iter().position(|t| t.is_ident("now")).unwrap();
+        assert!(mask[idx]);
+    }
+}

@@ -1,0 +1,44 @@
+//! `quorum-lint`: the determinism & safety static-analysis pass.
+//!
+//! Every reported number in this reproduction — the paper's Figure-1
+//! availability curves, the orchestrator's "thread count never changes
+//! any reported number" guarantee, the delta-kernel's bit-identical
+//! view pin — rests on invariants that are structural, not local: no
+//! wall-clock in simulated paths, all randomness derived from the run
+//! seed, no hash-iteration order reaching manifests or schedulers,
+//! `unsafe` forbidden at every crate root, no exact float comparison in
+//! the numeric core. Tests pin *instances* of these properties;
+//! `quorum-lint` checks the properties themselves on every build, so
+//! they survive refactors instead of living as tribal knowledge.
+//!
+//! The pass is token-level (a small purpose-built lexer in [`lexer`] —
+//! the offline build environment has no `syn`), which is exactly enough:
+//! each rule in [`rules`] is a token-sequence property, and the lexer
+//! guarantees matches never come from comments or string literals.
+//!
+//! Configuration lives in the repo-root `lint.toml` ([`config`]):
+//! per-rule path scoping plus a `file:line`-anchored allowlist where
+//! every exception carries a written justification. Anchors go stale
+//! loudly — an entry that no longer suppresses a finding fails the run
+//! (exit 2) so drifted lines get re-reviewed, not silently ignored.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p quorum-lint
+//! ```
+//!
+//! Findings print as `file:line: rule-id: message`; exit codes are
+//! 0 (clean), 1 (findings), 2 (stale allowlist or config error).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{AllowEntry, Config};
+pub use engine::{run, run_sources, Outcome};
+pub use rules::{Finding, RULE_IDS};

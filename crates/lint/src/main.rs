@@ -1,0 +1,62 @@
+//! The `quorum-lint` binary: lints the workspace against `lint.toml`.
+//!
+//! Usage: `quorum-lint [--root DIR] [--config FILE]`. Defaults to the
+//! current directory and `<root>/lint.toml`. Exit codes: 0 clean,
+//! 1 findings, 2 stale allowlist or configuration error.
+
+#![forbid(unsafe_code)]
+
+use quorum_lint::{engine, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("quorum-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!("usage: quorum-lint [--root DIR] [--config FILE]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let config = Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?;
+
+    let outcome = engine::run(&root, &config)?;
+    for f in &outcome.findings {
+        println!("{f}");
+    }
+    for entry in &outcome.stale {
+        eprintln!("quorum-lint: stale allowlist entry (no finding matched its anchor): {entry}");
+    }
+    eprintln!(
+        "quorum-lint: {} files checked, {} finding(s), {} suppressed by allowlist, {} stale",
+        outcome.files,
+        outcome.findings.len(),
+        outcome.suppressed,
+        outcome.stale.len()
+    );
+    Ok(ExitCode::from(outcome.exit_code() as u8))
+}

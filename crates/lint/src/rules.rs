@@ -1,0 +1,653 @@
+//! The rule catalog: five determinism/safety properties every reported
+//! number in this reproduction rests on (DESIGN.md §9).
+//!
+//! Each rule is a token-sequence property checked per file. Rules are
+//! scoped by path prefix (`paths` in `lint.toml`) and by test-ness
+//! (`include_tests`); `forbid-unsafe` is additionally scoped to crate
+//! roots via `roots` globs.
+
+use crate::config::{glob_match, Config, RuleConfig};
+use crate::lexer::{lex, test_mask, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Rule identifiers, in report order.
+pub const RULE_IDS: [&str; 5] = [
+    "no-wall-clock",
+    "no-unseeded-rng",
+    "no-unordered-iteration",
+    "forbid-unsafe",
+    "no-float-eq",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id from [`RULE_IDS`].
+    pub rule: &'static str,
+    /// What was found and why it matters.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One lexed source file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    toks: Vec<Tok>,
+    tests: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the contents of `path`.
+    pub fn new(path: &str, src: &str) -> Self {
+        let toks = lex(src);
+        let tests = test_mask(&toks);
+        Self {
+            path: path.to_string(),
+            toks,
+            tests,
+        }
+    }
+
+    fn in_scope(&self, rc: &RuleConfig) -> bool {
+        rc.paths.is_empty()
+            || rc
+                .paths
+                .iter()
+                .any(|p| self.path == *p || self.path.starts_with(&format!("{p}/")))
+    }
+}
+
+/// Runs every rule over one file under `config`, appending findings.
+pub fn check_file(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    let checks: [(&'static str, RuleFn); 5] = [
+        ("no-wall-clock", no_wall_clock),
+        ("no-unseeded-rng", no_unseeded_rng),
+        ("no-unordered-iteration", no_unordered_iteration),
+        ("forbid-unsafe", forbid_unsafe),
+        ("no-float-eq", no_float_eq),
+    ];
+    for (rule, f) in checks {
+        let rc = config.rule(rule);
+        if rule == "forbid-unsafe" {
+            // Root-scoped, not prefix-scoped: applies iff the file
+            // matches one of the crate-root globs.
+            if rc.roots.iter().any(|g| glob_match(g, &file.path)) {
+                f(file, &rc, rule, out);
+            }
+            continue;
+        }
+        if file.in_scope(&rc) {
+            f(file, &rc, rule, out);
+        }
+    }
+    // Deterministic report order and structural dedup (a `for` loop over
+    // `.drain()` trips two detectors of the same rule on the same line).
+    out.sort();
+    out.dedup();
+}
+
+type RuleFn = fn(&SourceFile, &RuleConfig, &'static str, &mut Vec<Finding>);
+
+/// Visible (non-test unless `include_tests`) token at index `i`?
+fn visible(file: &SourceFile, rc: &RuleConfig, i: usize) -> bool {
+    rc.include_tests || !file.tests[i]
+}
+
+fn push(out: &mut Vec<Finding>, file: &SourceFile, rule: &'static str, line: u32, message: String) {
+    out.push(Finding {
+        file: file.path.clone(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// Matches `toks[i..]` against `pat` (idents and puncts by text).
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, want)| {
+        toks.get(i + k).is_some_and(|t| {
+            (t.kind == TokKind::Ident || t.kind == TokKind::Punct) && t.text == *want
+        })
+    })
+}
+
+/// `no-wall-clock`: `Instant::now` and any use of `SystemTime`.
+///
+/// Reading the wall clock inside simulation, stats, or manifest code
+/// makes outputs depend on host speed; measured quantities (utilization
+/// accounting, bench drivers) carry `file:line` allowlist entries.
+fn no_wall_clock(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        if seq(toks, i, &["Instant", "::", "now"]) {
+            push(
+                out,
+                file,
+                rule,
+                toks[i].line,
+                "`Instant::now` reads the wall clock; simulated time must come from the DES clock"
+                    .into(),
+            );
+        } else if toks[i].is_ident("SystemTime") {
+            push(
+                out,
+                file,
+                rule,
+                toks[i].line,
+                "`SystemTime` reads the wall clock; run artifacts must be reproducible".into(),
+            );
+        }
+    }
+}
+
+/// `no-unseeded-rng`: `thread_rng`, `from_entropy`, `from_os_rng`, and
+/// `rand::random` — all randomness must derive from the run seed.
+fn no_unseeded_rng(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("from_os_rng") {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`{}` draws OS entropy; derive all randomness from the run seed \
+                     (quorum_stats::rng)",
+                    t.text
+                ),
+            );
+        } else if seq(toks, i, &["rand", "::", "random"]) {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                "`rand::random` uses the thread-local OS-seeded RNG; derive all randomness \
+                 from the run seed (quorum_stats::rng)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Methods whose call on a `HashMap`/`HashSet` observes (or depends on)
+/// its nondeterministic iteration order.
+const ORDER_SENSITIVE_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// `no-unordered-iteration`: iterating a `HashMap`/`HashSet` in code
+/// that feeds manifests, stats accumulation, or event scheduling.
+///
+/// Hash iteration order varies with the hasher's per-process seed and
+/// the insertion history, so anything folded out of it (manifest rows,
+/// merged stats, scheduled events) silently loses run-to-run stability.
+/// Keyed lookup stays allowed; iteration requires a `BTreeMap`/sorted
+/// materialization or an allowlist entry with a written justification.
+///
+/// Detection is file-local: identifiers bound or typed as
+/// `HashMap`/`HashSet` in this file, then flagged at `.iter()`-family
+/// calls and `for … in` loops over them.
+fn no_unordered_iteration(
+    file: &SourceFile,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let decls = unordered_decls(toks);
+    if decls.is_empty() {
+        return;
+    }
+    let names: BTreeSet<&str> = decls.iter().map(|d| d.name).collect();
+    if rc.forbid_types {
+        // Strict mode: the declaration itself must be justified, so
+        // membership-only uses carry a written allowlist reason instead
+        // of silently inviting future iteration.
+        for d in &decls {
+            if d.strict && visible(file, rc, d.tok_index) {
+                push(
+                    out,
+                    file,
+                    rule,
+                    toks[d.tok_index].line,
+                    format!(
+                        "`{}` is declared as a `{}`; this path feeds deterministic output — \
+                         use a BTree collection, or allowlist with a membership-only \
+                         justification",
+                        d.name, d.type_name
+                    ),
+                );
+            }
+        }
+    }
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `name.iter()`, `name.drain()`, ... (also matches through
+        // `self.name.iter()` since we key on the field name itself).
+        if t.kind == TokKind::Ident
+            && names.contains(t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| ORDER_SENSITIVE_METHODS.iter().any(|s| m.is_ident(s)))
+        {
+            let method = &toks[i + 2].text;
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`{}.{}()` observes hash-iteration order; use a BTreeMap/BTreeSet or \
+                     materialize sorted keys first",
+                    t.text, method
+                ),
+            );
+        }
+        // `for pat in [&][mut] [path.]name {` — the loop expression's
+        // final identifier before `{` is the collection.
+        if t.is_ident("for") {
+            let Some(in_idx) = (i + 1..toks.len().min(i + 24)).find(|&k| toks[k].is_ident("in"))
+            else {
+                continue;
+            };
+            let Some(brace) =
+                (in_idx + 1..toks.len().min(in_idx + 24)).find(|&k| toks[k].is_punct("{"))
+            else {
+                continue;
+            };
+            // Only treat simple paths (idents, `.`, `&`, `mut`, `self`)
+            // as a bare-collection loop; method calls inside the
+            // expression are handled by the detector above.
+            let expr = &toks[in_idx + 1..brace];
+            let simple = expr
+                .iter()
+                .all(|t| matches!(t.kind, TokKind::Ident) || t.is_punct("&") || t.is_punct("."));
+            if !simple {
+                continue;
+            }
+            if let Some(last) = expr.iter().rev().find(|t| t.kind == TokKind::Ident) {
+                if names.contains(last.text.as_str()) {
+                    push(
+                        out,
+                        file,
+                        rule,
+                        toks[i].line,
+                        format!(
+                            "`for … in {}` iterates a hash collection; use a BTreeMap/BTreeSet \
+                             or materialize sorted keys first",
+                            last.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One `HashMap`/`HashSet` binding found in a file.
+struct UnorderedDecl<'a> {
+    /// The bound identifier (field, let binding, or parameter name).
+    name: &'a str,
+    /// `"HashMap"` or `"HashSet"`.
+    type_name: &'a str,
+    /// Index of the bound identifier's token (for line/test lookup).
+    tok_index: usize,
+    /// Whether strict mode reports this site. Struct-literal inits
+    /// (`field: HashSet::new()`) re-state a binding whose field
+    /// declaration is reported already, so they count for name
+    /// collection but not as a second finding.
+    strict: bool,
+}
+
+/// Collects identifiers bound or typed as `HashMap`/`HashSet` anywhere
+/// in the file: `name: [std::collections::]Hash{Map,Set}…`,
+/// `let [mut] name = Hash{Map,Set}::…`.
+fn unordered_decls(toks: &[Tok]) -> Vec<UnorderedDecl<'_>> {
+    let mut decls: Vec<UnorderedDecl> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over a `path::` prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `HashMap` followed by `::` is an expression (`HashMap::new()`),
+        // not a type position.
+        let type_position = !toks.get(i + 1).is_some_and(|n| n.is_punct("::"));
+        let bound = match &toks[j - 1] {
+            // Type annotation or struct-literal init:
+            // `name : HashMap<…>` / `name : HashMap::new()`.
+            p if p.is_punct(":") => {
+                (j >= 2 && toks[j - 2].kind == TokKind::Ident).then(|| (j - 2, type_position))
+            }
+            // Initializer: `let [mut] name = HashMap::new()`.
+            p if p.is_punct("=") => {
+                let k = j - 1;
+                if k >= 1 && toks[k - 1].kind == TokKind::Ident {
+                    let k = k - 1;
+                    let is_let_bound = (k >= 1 && toks[k - 1].is_ident("let"))
+                        || (k >= 2 && toks[k - 1].is_ident("mut") && toks[k - 2].is_ident("let"));
+                    (is_let_bound && !toks[k].is_ident("mut")).then_some((k, true))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some((k, strict)) = bound {
+            let name = toks[k].text.as_str();
+            if !decls.iter().any(|d| d.name == name && d.tok_index == k) {
+                decls.push(UnorderedDecl {
+                    name,
+                    type_name: t.text.as_str(),
+                    tok_index: k,
+                    strict,
+                });
+            }
+        }
+    }
+    decls
+}
+
+/// `forbid-unsafe`: every crate root (lib, bin, example, test target)
+/// must carry `#![forbid(unsafe_code)]` so the guarantee is per-crate
+/// airtight instead of a convention.
+fn forbid_unsafe(file: &SourceFile, _rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let found = (0..toks.len()).any(|i| {
+        seq(
+            toks,
+            i,
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
+    });
+    if !found {
+        push(
+            out,
+            file,
+            rule,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        );
+    }
+}
+
+/// `no-float-eq`: `==` / `!=` with a float operand in the numeric core.
+///
+/// Exact float comparison encodes an accidental bit-pattern property;
+/// availability estimates and CI bounds must compare with an explicit
+/// epsilon (or restructure to integers). Detection: a float literal (or
+/// an identifier annotated `: f64`/`: f32` in this file) directly on
+/// either side of `==`/`!=`, allowing a unary minus.
+fn no_float_eq(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let float_names = float_annotated_names(toks);
+    let is_floaty = |t: &Tok| {
+        t.kind == TokKind::Float
+            || (t.kind == TokKind::Ident && float_names.contains(t.text.as_str()))
+    };
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let left_float = i >= 1 && is_floaty(&toks[i - 1]);
+        let right = match toks.get(i + 1) {
+            Some(m) if m.is_punct("-") => toks.get(i + 2),
+            other => other,
+        };
+        let right_float = right.is_some_and(&is_floaty);
+        if left_float || right_float {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`{}` on a floating-point value; compare with an explicit epsilon instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers annotated `: f64` / `: f32` anywhere in the file.
+fn float_annotated_names(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut names = BTreeSet::new();
+    for i in 2..toks.len() {
+        if (toks[i].is_ident("f64") || toks[i].is_ident("f32"))
+            && toks[i - 1].is_punct(":")
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            names.insert(toks[i - 2].text.as_str());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rule(path: &str, src: &str, config: &Config) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check_file(&file, config, &mut out);
+        out
+    }
+
+    fn default_config() -> Config {
+        Config::parse(
+            r#"
+[rules.forbid-unsafe]
+roots = ["crates/*/src/lib.rs"]
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_outside_tests_only() {
+        let src = r#"
+            fn hot() { let t = std::time::Instant::now(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn timing() { let t = std::time::Instant::now(); }
+            }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        let wall: Vec<_> = f.iter().filter(|f| f.rule == "no-wall-clock").collect();
+        assert_eq!(wall.len(), 1);
+        assert_eq!(wall[0].line, 2);
+    }
+
+    #[test]
+    fn system_time_and_rng_are_flagged() {
+        let src = r#"
+            fn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }
+            fn roll() -> f64 { rand::random() }
+            fn seed() { let r = rand::rngs::StdRng::from_entropy(); }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        assert!(f.iter().any(|f| f.rule == "no-wall-clock" && f.line == 2));
+        assert!(f.iter().any(|f| f.rule == "no-unseeded-rng" && f.line == 3));
+        assert!(f.iter().any(|f| f.rule == "no-unseeded-rng" && f.line == 4));
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_lookup_is_not() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct S { sessions: HashMap<u64, String> }
+            impl S {
+                fn lookup(&self, k: u64) -> Option<&String> { self.sessions.get(&k) }
+                fn dump(&self) {
+                    for (k, v) in &self.sessions { println!("{k} {v}"); }
+                    let keys: Vec<_> = self.sessions.keys().collect();
+                }
+            }
+            fn local() {
+                let mut seen = HashMap::new();
+                seen.insert(1, 2);
+                let n = seen.len();
+                for v in seen.values() { drop(v); }
+            }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        let it: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "no-unordered-iteration")
+            .collect();
+        let lines: Vec<u32> = it.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![7, 8, 15], "{it:?}");
+    }
+
+    #[test]
+    fn strict_mode_flags_declarations() {
+        let mut cfg = default_config();
+        cfg.rules
+            .entry("no-unordered-iteration".into())
+            .or_default()
+            .forbid_types = true;
+        let src = r#"
+            use std::collections::HashSet;
+            struct Q { live: HashSet<u64> }
+            fn check(q: &Q, k: u64) -> bool { q.live.contains(&k) }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &cfg);
+        let it: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "no-unordered-iteration")
+            .collect();
+        assert_eq!(it.len(), 1, "{it:?}");
+        assert_eq!(it[0].line, 3);
+        assert!(it[0].message.contains("HashSet"));
+        // Without strict mode the membership-only use is clean.
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        assert!(f.iter().all(|f| f.rule != "no-unordered-iteration"));
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            fn dump(m: &BTreeMap<u64, u64>) {
+                for (k, v) in m { println!("{k} {v}"); }
+                let _ = m.keys().count();
+            }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        assert!(f.iter().all(|f| f.rule != "no-unordered-iteration"));
+    }
+
+    #[test]
+    fn iteration_scope_respects_paths() {
+        let mut cfg = default_config();
+        cfg.rules
+            .entry("no-unordered-iteration".into())
+            .or_default()
+            .paths = vec!["crates/cluster".into()];
+        let src = "fn f(m: std::collections::HashMap<u8,u8>) { for x in m.values() { drop(x); } }";
+        assert!(run_rule("crates/graph/src/a.rs", src, &cfg).is_empty());
+        assert!(!run_rule("crates/cluster/src/a.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_only_roots() {
+        let cfg = default_config();
+        let f = run_rule("crates/x/src/lib.rs", "pub fn f() {}", &cfg);
+        assert!(f.iter().any(|f| f.rule == "forbid-unsafe"));
+        let f = run_rule(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+            &cfg,
+        );
+        assert!(f.iter().all(|f| f.rule != "forbid-unsafe"));
+        // Non-root files are exempt.
+        let f = run_rule("crates/x/src/other.rs", "pub fn f() {}", &cfg);
+        assert!(f.iter().all(|f| f.rule != "forbid-unsafe"));
+    }
+
+    #[test]
+    fn float_eq_flags_literals_and_annotated_names() {
+        let src = r#"
+            fn check(availability: f64, n: u64) -> bool {
+                if availability == 1.0 { return true; }
+                if n == 3 { return false; }
+                availability != 0.5
+            }
+        "#;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "no-float-eq")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3, 5]);
+    }
+
+    #[test]
+    fn float_eq_allows_epsilon_style() {
+        let src = "fn close(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 }";
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        assert!(f.iter().all(|f| f.rule != "no-float-eq"));
+    }
+
+    #[test]
+    fn matches_inside_strings_and_comments_do_not_fire() {
+        let src = r##"
+            // Instant::now() would be bad here
+            fn msg() -> &'static str { "uses Instant::now and thread_rng and SystemTime" }
+            fn raw() -> &'static str { r#"for x in map.values()"# }
+        "##;
+        let f = run_rule("crates/x/src/a.rs", src, &default_config());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Fixture-driven acceptance tests for every rule: each known-bad
+//! snippet is flagged at the expected lines, an exact `file:line`
+//! allowlist entry suppresses it, and a drifted anchor is a hard error
+//! (exit 2). The last test runs the real engine over the real workspace
+//! under the shipped `lint.toml` and requires a clean exit — so a stale
+//! allowlist anchor fails `cargo test`, not just CI's lint job.
+
+#![forbid(unsafe_code)]
+
+use quorum_lint::{run_sources, Config};
+
+const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
+const UNSEEDED_RNG: &str = include_str!("fixtures/unseeded_rng.rs");
+const UNORDERED: &str = include_str!("fixtures/unordered_iteration.rs");
+const MISSING_FORBID: &str = include_str!("fixtures/missing_forbid.rs");
+const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+
+fn config(toml: &str) -> Config {
+    Config::parse(toml).expect("fixture config parses")
+}
+
+/// (rule, line) pairs of an outcome's findings, for compact asserts.
+fn found(out: &quorum_lint::Outcome) -> Vec<(&str, u32)> {
+    out.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn wall_clock_fixture_is_flagged_outside_tests() {
+    let out = run_sources(
+        &[("crates/demo/src/wall.rs", WALL_CLOCK)],
+        &Config::default(),
+    );
+    assert_eq!(
+        found(&out),
+        vec![("no-wall-clock", 4), ("no-wall-clock", 10)],
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(out.exit_code(), 1);
+}
+
+#[test]
+fn unseeded_rng_fixture_is_flagged_in_tests_too() {
+    let cfg = config("[rules.no-unseeded-rng]\ninclude_tests = true\n");
+    let out = run_sources(&[("crates/demo/src/rng.rs", UNSEEDED_RNG)], &cfg);
+    assert_eq!(
+        found(&out),
+        vec![
+            ("no-unseeded-rng", 5),
+            ("no-unseeded-rng", 6),
+            ("no-unseeded-rng", 13),
+        ],
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(out.exit_code(), 1);
+}
+
+#[test]
+fn unordered_iteration_fixture_flags_iteration_not_lookup() {
+    let out = run_sources(
+        &[("crates/demo/src/stats.rs", UNORDERED)],
+        &Config::default(),
+    );
+    assert_eq!(
+        found(&out),
+        vec![
+            ("no-unordered-iteration", 18),
+            ("no-unordered-iteration", 25),
+        ],
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn unordered_iteration_strict_mode_also_flags_the_declaration() {
+    let cfg = config("[rules.no-unordered-iteration]\nforbid_types = true\n");
+    let out = run_sources(&[("crates/demo/src/stats.rs", UNORDERED)], &cfg);
+    assert_eq!(
+        found(&out),
+        vec![
+            ("no-unordered-iteration", 8),
+            ("no-unordered-iteration", 18),
+            ("no-unordered-iteration", 25),
+        ],
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn missing_forbid_fixture_is_flagged_only_at_crate_roots() {
+    let cfg = config("[rules.forbid-unsafe]\nroots = [\"crates/*/src/lib.rs\"]\n");
+    let out = run_sources(&[("crates/demo/src/lib.rs", MISSING_FORBID)], &cfg);
+    assert_eq!(
+        found(&out),
+        vec![("forbid-unsafe", 1)],
+        "{:?}",
+        out.findings
+    );
+    // The identical file at a non-root path is not a crate root.
+    let out = run_sources(&[("crates/demo/src/helper.rs", MISSING_FORBID)], &cfg);
+    assert_eq!(out.findings, vec![]);
+}
+
+#[test]
+fn float_eq_fixture_is_flagged_inside_scoped_paths_only() {
+    let cfg = config("[rules.no-float-eq]\npaths = [\"crates/core\"]\n");
+    let out = run_sources(&[("crates/core/src/avail.rs", FLOAT_EQ)], &cfg);
+    assert_eq!(
+        found(&out),
+        vec![("no-float-eq", 5), ("no-float-eq", 9)],
+        "{:?}",
+        out.findings
+    );
+    // Outside the scoped numeric core the same comparisons pass.
+    let out = run_sources(&[("crates/graph/src/avail.rs", FLOAT_EQ)], &cfg);
+    assert_eq!(out.findings, vec![]);
+}
+
+#[test]
+fn exact_allowlist_anchors_suppress_every_fixture_finding() {
+    let cfg = config(
+        r#"
+[rules.no-unseeded-rng]
+include_tests = true
+
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/demo/src/wall.rs"
+line = 4
+reason = "fixture: driver wall-clock is the measured quantity"
+
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/demo/src/wall.rs"
+line = 10
+reason = "fixture: manifest stamps a human-readable start time"
+
+[[allow]]
+rule = "no-unseeded-rng"
+file = "crates/demo/src/rng.rs"
+line = 5
+reason = "fixture: jitter outside the measured path"
+
+[[allow]]
+rule = "no-unseeded-rng"
+file = "crates/demo/src/rng.rs"
+line = 6
+reason = "fixture: jitter outside the measured path"
+
+[[allow]]
+rule = "no-unseeded-rng"
+file = "crates/demo/src/rng.rs"
+line = 13
+reason = "fixture: test-only entropy draw"
+
+[[allow]]
+rule = "no-unordered-iteration"
+file = "crates/demo/src/stats.rs"
+line = 18
+reason = "fixture: rows are sorted by the caller before emission"
+
+[[allow]]
+rule = "no-unordered-iteration"
+file = "crates/demo/src/stats.rs"
+line = 25
+reason = "fixture: summation is order-independent"
+"#,
+    );
+    let out = run_sources(
+        &[
+            ("crates/demo/src/wall.rs", WALL_CLOCK),
+            ("crates/demo/src/rng.rs", UNSEEDED_RNG),
+            ("crates/demo/src/stats.rs", UNORDERED),
+        ],
+        &cfg,
+    );
+    assert_eq!(out.findings, vec![], "all findings suppressed");
+    assert_eq!(out.suppressed, 7);
+    assert_eq!(out.stale, vec![]);
+    assert_eq!(out.exit_code(), 0);
+}
+
+#[test]
+fn drifted_allowlist_anchor_is_a_hard_error() {
+    // The justification was written for line 4; the finding is still
+    // there, but the anchor has drifted one line — the entry goes stale
+    // AND the finding resurfaces, and stale dominates the exit code.
+    let cfg = config(
+        r#"
+[[allow]]
+rule = "no-wall-clock"
+file = "crates/demo/src/wall.rs"
+line = 5
+reason = "was reviewed when the call sat on line 5"
+"#,
+    );
+    let out = run_sources(&[("crates/demo/src/wall.rs", WALL_CLOCK)], &cfg);
+    assert_eq!(out.stale.len(), 1);
+    assert_eq!(out.stale[0].line, 5);
+    assert_eq!(found(&out)[0], ("no-wall-clock", 4));
+    assert_eq!(out.exit_code(), 2, "stale beats plain findings");
+}
+
+#[test]
+fn findings_render_as_file_line_rule_message() {
+    let out = run_sources(
+        &[("crates/demo/src/wall.rs", WALL_CLOCK)],
+        &Config::default(),
+    );
+    let first = out.findings[0].to_string();
+    assert!(
+        first.starts_with("crates/demo/src/wall.rs:4: no-wall-clock: "),
+        "{first}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean_under_the_shipped_config() {
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml readable");
+    let cfg = Config::parse(&toml).expect("shipped lint.toml parses");
+    let out = quorum_lint::run(&root, &cfg).expect("workspace walk succeeds");
+    assert_eq!(out.findings, vec![], "unallowlisted findings in workspace");
+    assert_eq!(out.stale, vec![], "stale allowlist anchors in lint.toml");
+    assert_eq!(out.exit_code(), 0);
+    assert!(out.files > 100, "walked {} files", out.files);
+    assert!(out.suppressed >= 15, "suppressed {}", out.suppressed);
+}

@@ -1,0 +1,14 @@
+//! Fixture: exact float comparison in the numeric core (`no-float-eq`).
+//! Epsilon-style comparison is the sanctioned shape.
+
+pub fn saturated(availability: f64) -> bool {
+    availability == 1.0
+}
+
+pub fn distinct(a: f64, b: f64) -> bool {
+    a != b
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`
+//! (`forbid-unsafe` flags it only when the path matches a root glob).
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}

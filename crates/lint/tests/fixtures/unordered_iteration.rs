@@ -1,0 +1,27 @@
+//! Fixture: hash-iteration order reaching deterministic output
+//! (`no-unordered-iteration`). Keyed lookup stays legal; iterating is
+//! flagged, and strict mode flags the declaration itself.
+
+use std::collections::HashMap;
+
+pub struct Stats {
+    per_site: HashMap<u64, u64>,
+}
+
+impl Stats {
+    pub fn lookup(&self, site: u64) -> u64 {
+        *self.per_site.get(&site).unwrap_or(&0)
+    }
+
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (site, count) in &self.per_site {
+            out.push((*site, *count));
+        }
+        out
+    }
+
+    pub fn total(&self) -> u64 {
+        self.per_site.values().sum()
+    }
+}

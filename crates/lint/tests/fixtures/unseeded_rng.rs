@@ -1,0 +1,19 @@
+//! Fixture: OS-entropy randomness (`no-unseeded-rng`) — the rule runs
+//! with `include_tests = true`, so the test module is flagged too.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::random::<f64>() + noise(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_seeding_is_flagged_even_here() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}
+
+fn noise<R>(_r: &mut R) -> f64 {
+    0.0
+}

@@ -377,7 +377,7 @@ impl Parser<'_> {
                     // Advance one full UTF-8 character.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().expect("Some(_) arm guarantees a byte");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

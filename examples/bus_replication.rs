@@ -8,6 +8,8 @@
 //! We compute the exact §4.2 densities for both, pick optimal quorums for
 //! a 60 %-read workload, and confirm with the discrete-event simulator.
 
+#![forbid(unsafe_code)]
+
 use quorum_core::analytic::{bus_density_sites_fail, bus_density_sites_independent};
 use quorum_core::{AvailabilityModel, QuorumConsensus, QuorumSpec, SearchStrategy};
 use quorum_des::SimParams;
@@ -66,7 +68,8 @@ fn main() {
         // the (tiny) difference from the bus's 0.99 for this walkthrough.
         let mut proto = QuorumConsensus::new(
             quorum_core::VoteAssignment::uniform(n),
-            QuorumSpec::from_read_quorum(opt.spec.q_r(), n as u64).unwrap(),
+            QuorumSpec::from_read_quorum(opt.spec.q_r(), n as u64)
+                .expect("optimizer only emits consistent quorums"),
         );
         let stats = sim.run_batch(&mut proto);
         println!(

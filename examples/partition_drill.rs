@@ -9,6 +9,8 @@
 //! the majority side, and the heal — with one-copy-serializability
 //! checked at every access.
 
+#![forbid(unsafe_code)]
+
 use quorum_core::protocol::Decision;
 use quorum_core::{Access, QrProtocol, QuorumSpec, VoteAssignment};
 use quorum_graph::Topology;
@@ -56,7 +58,7 @@ fn main() {
     // joint rule — the refreshed copies must cover the new write quorum),
     // and only 4 are present: the protocol refuses, visibly.
     let members = sc.members_of(4);
-    let new_spec = QuorumSpec::from_read_quorum(3, 7).unwrap();
+    let new_spec = QuorumSpec::from_read_quorum(3, 7).expect("(3,5) of 7 satisfies both rules");
     match qr.try_reassign(&members, new_spec) {
         Ok(v) => println!("reassign to (3,5) in majority side: installed version {v}"),
         Err(e) => println!("reassign to (3,5) in majority side: refused ({e})"),

@@ -3,6 +3,8 @@
 //! must produce the same component-vote distributions and, downstream, the
 //! same optimal quorum assignments.
 
+#![forbid(unsafe_code)]
+
 use quorum_core::analytic::{fully_connected_density, ring_density, star_densities};
 use quorum_core::{AvailabilityModel, QuorumSpec, SearchStrategy, VoteAssignment};
 use quorum_des::SimParams;
@@ -15,7 +17,8 @@ fn simulate(topo: &Topology, seed: u64) -> quorum_replica::RunResults {
     run_static(
         topo,
         VoteAssignment::uniform(n),
-        QuorumSpec::from_read_quorum(n as u64 / 2, n as u64).unwrap(),
+        QuorumSpec::from_read_quorum(n as u64 / 2, n as u64)
+            .expect("floor(n/2) reads of n total always satisfy both quorum rules"),
         Workload::uniform(n, 0.5),
         RunConfig {
             params: SimParams {

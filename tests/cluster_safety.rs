@@ -5,6 +5,8 @@
 //! reassignments — and the `commit_on_grant` ablation must demonstrably
 //! break it, proving the checker has teeth.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use quorum_cluster::{
     jointly_safe, ClusterConfig, ClusterEngine, InstallStep, LatencyDist, NetConfig,

@@ -7,6 +7,8 @@
 //! strictness of the majority test is load-bearing (weakening `>` to `≥`
 //! makes a violation reachable).
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashSet, VecDeque};
 
 const N: usize = 4;
@@ -79,7 +81,11 @@ fn partitions() -> Vec<Vec<Vec<usize>>> {
 
 /// Evaluates the dynamic-voting access condition for `group`.
 fn granted(state: &State, group: &[usize], strict: bool) -> (bool, u8) {
-    let max_vn = group.iter().map(|&s| state.vn[s]).max().unwrap();
+    let max_vn = group
+        .iter()
+        .map(|&s| state.vn[s])
+        .max()
+        .expect("groups enumerated by the model checker are non-empty");
     let holders: Vec<usize> = group
         .iter()
         .copied()

@@ -1,1 +1,3 @@
 // integration test workspace member
+
+#![forbid(unsafe_code)]

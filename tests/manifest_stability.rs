@@ -1,0 +1,141 @@
+//! Manifest determinism pins: the same seed must produce byte-identical
+//! manifest JSON, run to run and across thread counts, once the fields
+//! that *are* wall-clock measurements (phase timings, utilization
+//! gauges) are stripped. This is the end-to-end guarantee `quorum-lint`
+//! enforces structurally — no hash-iteration order, no wall clock, no
+//! OS entropy anywhere in the path from simulator to serialized JSON —
+//! pinned here on concrete runs of both simulators.
+
+#![forbid(unsafe_code)]
+
+use quorum_bench::manifest::{manifest_for_run, sim_params_record, topology_record};
+use quorum_cluster::{run_cluster_observed, ClusterConfig, RunOptions};
+use quorum_core::{QuorumSpec, VoteAssignment};
+use quorum_des::SimParams;
+use quorum_graph::Topology;
+use quorum_obs::{Registry, RunManifest};
+use quorum_replica::{run_static_observed, RunConfig, Workload};
+
+fn tiny_params() -> SimParams {
+    SimParams {
+        warmup_accesses: 500,
+        batch_accesses: 4_000,
+        min_batches: 2,
+        max_batches: 3,
+        ci_half_width: 0.05,
+        ..SimParams::paper()
+    }
+}
+
+/// Removes the fields that legitimately vary with the host: phase
+/// timings and utilization gauges (wall-clock measurements) and the
+/// recorded thread count (run metadata — the knob the thread-invariance
+/// assertions below vary on purpose). Everything left must be a pure
+/// function of (topology, params, seed).
+fn strip_wall_clock(m: &mut RunManifest) {
+    m.phases.clear();
+    m.metrics
+        .retain(|k, _| !k.contains("utilization") && !k.ends_with(".threads"));
+}
+
+fn replica_manifest(seed: u64, threads: usize) -> String {
+    let topo = Topology::ring_with_chords(13, 2);
+    let votes = VoteAssignment::uniform(13);
+    let registry = Registry::new();
+    let params = tiny_params();
+    let res = run_static_observed(
+        &topo,
+        votes.clone(),
+        QuorumSpec::majority(13),
+        Workload::uniform(13, 0.6),
+        RunConfig {
+            params,
+            seed,
+            threads,
+        },
+        &registry,
+    );
+    let mut m = manifest_for_run(
+        "manifest_stability",
+        seed,
+        &params,
+        "ring-13+2",
+        2,
+        &topo,
+        &votes,
+        &res,
+        &registry,
+    );
+    strip_wall_clock(&mut m);
+    m.to_json().to_string_pretty()
+}
+
+fn cluster_manifest(seed: u64, threads: usize) -> String {
+    let topo = Topology::ring_with_chords(9, 2);
+    let votes = VoteAssignment::uniform(9);
+    let params = tiny_params();
+    let cfg = ClusterConfig::new(params);
+    let registry = Registry::new();
+    let res = run_cluster_observed(
+        &topo,
+        &cfg,
+        QuorumSpec::majority(9),
+        votes.clone(),
+        Workload::uniform(9, 0.7),
+        RunOptions { seed, threads },
+        &registry,
+    );
+    let mut m = RunManifest::new("manifest_stability_cluster", seed);
+    m.params = sim_params_record(&params);
+    m.topology = topology_record("ring-9+2", 2, &topo);
+    m.votes = votes.as_slice().to_vec();
+    res.fill_manifest(&mut m);
+    m.absorb_snapshot(&registry.snapshot());
+    strip_wall_clock(&mut m);
+    m.to_json().to_string_pretty()
+}
+
+#[test]
+fn replica_manifest_is_byte_identical_across_runs_and_threads() {
+    let a = replica_manifest(21, 2);
+    let b = replica_manifest(21, 2);
+    assert_eq!(a, b, "same seed, same threads: manifests must match");
+    let c = replica_manifest(21, 1);
+    assert_eq!(a, c, "thread count must not change any reported number");
+}
+
+#[test]
+fn cluster_manifest_is_byte_identical_across_runs_and_threads() {
+    let a = cluster_manifest(33, 2);
+    let b = cluster_manifest(33, 2);
+    assert_eq!(a, b, "same seed, same threads: manifests must match");
+    let c = cluster_manifest(33, 1);
+    assert_eq!(a, c, "thread count must not change any reported number");
+}
+
+#[test]
+fn manifest_counter_and_metric_keys_serialize_sorted() {
+    // The maps behind `counters` and `metrics` are BTreeMaps (and the
+    // cluster engine / bench arg maps feeding them were moved off
+    // HashMap by the no-unordered-iteration remediation), so the JSON
+    // must list keys in sorted order — the property that makes two
+    // manifests diffable line by line.
+    let text = cluster_manifest(7, 1);
+    let m = RunManifest::parse(&text).expect("manifest parses back");
+    assert!(!m.counters.is_empty() && !m.metrics.is_empty());
+    for keys in [
+        m.counters.keys().cloned().collect::<Vec<_>>(),
+        m.metrics.keys().cloned().collect::<Vec<_>>(),
+    ] {
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| {
+                text.find(&format!("\"{k}\""))
+                    .unwrap_or_else(|| panic!("key {k} missing from JSON"))
+            })
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted, "keys out of order: {keys:?}");
+    }
+}

@@ -3,6 +3,8 @@
 //! own accounting, end to end — from a raw [`ComponentCache`] up through
 //! the `validate_curves` sweep and its written manifest.
 
+#![forbid(unsafe_code)]
+
 use quorum_bench::validate::{run, ValidateOpts};
 use quorum_core::{QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;

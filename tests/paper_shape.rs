@@ -1,6 +1,8 @@
 //! End-to-end reproduction of the paper's §5.3 qualitative observations,
 //! at reduced scale (CI-friendly) but with the full 101-site topologies.
 
+#![forbid(unsafe_code)]
+
 use quorum_core::metrics::AvailabilityMetric;
 use quorum_core::{QuorumSpec, SearchStrategy, VoteAssignment};
 use quorum_des::SimParams;
@@ -14,7 +16,7 @@ fn run_scenario(chords: usize, seed: u64) -> RunResults {
     run_static(
         &topo,
         VoteAssignment::uniform(101),
-        QuorumSpec::from_read_quorum(50, 101).unwrap(),
+        QuorumSpec::from_read_quorum(50, 101).expect("(50, 52) of 101 satisfies both quorum rules"),
         Workload::uniform(101, 0.5),
         RunConfig {
             params: SimParams {

@@ -16,6 +16,8 @@
 //! only) the checker exhaustively *finds* the stale-read state — turning
 //! the simulation-discovered bug into a verified property.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashSet, VecDeque};
 
 const N: usize = 5;
@@ -98,13 +100,17 @@ fn partitions() -> Vec<Vec<Vec<usize>>> {
 }
 
 fn effective(state: &State, group: &[usize]) -> (u8, u8) {
-    let v = group.iter().map(|&s| state.version[s]).max().unwrap();
+    let v = group
+        .iter()
+        .map(|&s| state.version[s])
+        .max()
+        .expect("groups enumerated by the model checker are non-empty");
     let spec = group
         .iter()
         .filter(|&&s| state.version[s] == v)
         .map(|&s| state.spec[s])
         .next()
-        .unwrap();
+        .expect("some site carries the maximum version by construction");
     (v, spec)
 }
 
