@@ -1,0 +1,150 @@
+//! Million-object sharded throughput benchmark.
+//!
+//! Drives [`quorum_shard`] at paper-scale topology (101 sites): build
+//! the shared failure timeline once, then push every object's Poisson
+//! access walk through two engines —
+//!
+//! * the **batched sharded** path (contiguous object shards fanned over
+//!   the converge orchestrator, no event queue in the access loop), and
+//! * the **naive binary-heap** baseline (every object's next access in
+//!   one future-event list, popped one access at a time),
+//!
+//! asserts their tallies are *equal* (same per-object RNG streams), and
+//! reports sustained accesses/sec for both plus the speedup. With
+//! `--manifest <path>` the numbers land in a run manifest for the CI
+//! throughput gate (`results/BENCH_PR.json` / `BENCH_BASELINE.json`).
+//!
+//! Counters in the manifest are invariant to `--shards` and
+//! `--threads`; wall-clock metrics and the `shard.threads` /
+//! `shard.thread_utilization` gauges are the only run-shaped values.
+//!
+//! Usage: cargo run -p quorum-bench --release --bin shard_throughput
+//!        [-- --objects 1000000 --shards 64 --threads 2 --horizon 2.0
+//!            --seed 11 --chords 256 (default: full-101) --skip-naive
+//!            --manifest results/BENCH_PR.json]
+
+#![forbid(unsafe_code)]
+
+use quorum_bench::{manifest, print_table, Args};
+use quorum_des::SimParams;
+use quorum_graph::Topology;
+use quorum_obs::{keys, Registry, RunManifest};
+use quorum_shard::{FailureTimeline, ObjectCatalog, ShardEngine};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get_or("seed", 11);
+    let objects: u64 = args.get_or("objects", 50_000);
+    let shards: u64 = args.get_or("shards", 64);
+    let threads: usize = args.get_or("threads", quorum_bench::default_threads());
+    let horizon: f64 = args.get_or("horizon", 2.0);
+    let (label, topology) = match args.get::<usize>("chords") {
+        Some(k) => (format!("ring-101-c{k}"), Topology::ring_with_chords(101, k)),
+        None => ("full-101".to_string(), Topology::fully_connected(101)),
+    };
+    let params = SimParams::paper();
+
+    println!(
+        "# Shard throughput | {label} objects={objects} shards={shards} threads={threads} \
+         horizon={horizon} seed={seed}"
+    );
+
+    let registry = Registry::new();
+    let catalog = ObjectCatalog::paper_mix(topology.num_sites(), objects);
+    let timeline = {
+        let _t = registry.scoped_timer("phase.timeline_build");
+        FailureTimeline::build(&topology, &catalog, &params, horizon, seed)
+    };
+    println!(
+        "# timeline: {} epochs over {} site + {} link transitions",
+        timeline.num_epochs(),
+        timeline.site_transitions(),
+        timeline.link_transitions()
+    );
+
+    let engine = ShardEngine::new(&topology, &catalog, &timeline, horizon, seed);
+
+    let batched_started = Instant::now();
+    let (stats, conv) = {
+        let _t = registry.scoped_timer("phase.batched_run");
+        engine.run_sharded(shards, threads)
+    };
+    let batched_secs = batched_started.elapsed().as_secs_f64();
+    let accesses_per_sec = stats.accesses as f64 / batched_secs.max(1e-9);
+
+    let naive = if args.flag("skip-naive") {
+        None
+    } else {
+        let naive_started = Instant::now();
+        let naive_stats = {
+            let _t = registry.scoped_timer("phase.naive_run");
+            engine.run_naive()
+        };
+        let naive_secs = naive_started.elapsed().as_secs_f64();
+        assert_eq!(
+            naive_stats, stats,
+            "naive heap and batched shard engines disagree"
+        );
+        Some((
+            naive_stats.accesses as f64 / naive_secs.max(1e-9),
+            naive_secs,
+        ))
+    };
+
+    let mut rows = vec![vec![
+        "batched".to_string(),
+        format!("{}", stats.accesses),
+        format!("{batched_secs:.3}"),
+        format!("{accesses_per_sec:.0}"),
+        format!("{:.4}", stats.availability()),
+    ]];
+    if let Some((naive_aps, naive_secs)) = naive {
+        rows.push(vec![
+            "naive-heap".to_string(),
+            format!("{}", stats.accesses),
+            format!("{naive_secs:.3}"),
+            format!("{naive_aps:.0}"),
+            format!("{:.4}", stats.availability()),
+        ]);
+        rows.push(vec![
+            "speedup".to_string(),
+            String::new(),
+            String::new(),
+            format!("{:.2}x", accesses_per_sec / naive_aps),
+            String::new(),
+        ]);
+    }
+    print_table(
+        &[
+            "engine",
+            "accesses",
+            "wall_s",
+            "accesses/sec",
+            "availability",
+        ],
+        &rows,
+    );
+
+    stats.observe_into(&registry);
+    timeline.observe_into(&registry);
+    registry.set_gauge(keys::SHARD_SHARDS, shards as f64);
+    registry.set_gauge("shard.threads", threads as f64);
+    registry.set_gauge("shard.thread_utilization", conv.utilization());
+
+    let mut m = RunManifest::new("shard_throughput", seed);
+    m.params = manifest::sim_params_record(&params);
+    m.topology = manifest::topology_record(&label, args.get_or("chords", 0), &topology);
+    m.batches = conv.batches;
+    m.absorb_snapshot(&registry.snapshot());
+    m.set_metric("accesses_per_sec", accesses_per_sec);
+    m.set_metric("batched_wall_secs", batched_secs);
+    m.set_metric("availability", stats.availability());
+    m.set_metric("horizon", horizon);
+    if let Some((naive_aps, naive_secs)) = naive {
+        m.set_metric("naive_accesses_per_sec", naive_aps);
+        m.set_metric("naive_wall_secs", naive_secs);
+        m.set_metric("speedup_vs_naive", accesses_per_sec / naive_aps);
+    }
+    manifest::write_requested(&args, &m);
+}

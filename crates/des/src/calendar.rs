@@ -1,0 +1,523 @@
+//! A calendar-queue future-event list.
+//!
+//! The binary-heap [`EventQueue`](crate::EventQueue) pays O(log n) per
+//! operation with poor locality once the pending set grows to hundreds
+//! of thousands of timers (one per simulated object). A calendar queue
+//! (Brown 1988) buckets events by "day" — a fixed-width window of
+//! simulated time — and pops by scanning the current day's bucket, which
+//! is amortized O(1) when the bucket width tracks the mean inter-event
+//! gap. The bucket count doubles/halves as the pending set grows and
+//! shrinks, and the width is re-estimated from the stored events at each
+//! resize.
+//!
+//! ## Determinism contract
+//!
+//! [`CalendarQueue`] pops in exactly the same order as the heap: the
+//! global minimum of the total `(time, insertion seq)` key. Day windows
+//! only narrow *where* to look — within a window the scan still selects
+//! the minimum key, and windows are visited in increasing order, so the
+//! selected event is the global minimum. The equivalence proptest below
+//! pins heap and calendar to identical pop sequences over random
+//! schedule/cancel/pop interleavings; `tests/manifest_stability.rs` and
+//! the replica pin test extend that to whole simulations.
+
+use crate::event::{EventKey, Scheduled};
+use crate::time::SimTime;
+use std::collections::BTreeSet;
+
+const MIN_BUCKETS: usize = 16;
+
+/// A deterministic future-event list with amortized O(1) operations.
+///
+/// Drop-in replacement for [`crate::EventQueue`] (both implement
+/// [`crate::EventSchedule`]): same pop order, same causality assertion,
+/// same cancellation semantics, same lifetime counters.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// `buckets[d % nbuckets]` holds every pending event of day `d`
+    /// (plus events of other days congruent mod the bucket count).
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Width of one day window, in simulated time units.
+    width: f64,
+    /// Entries resident in the buckets, tombstones included.
+    stored: usize,
+    next_seq: u64,
+    popped: u64,
+    now: SimTime,
+    /// Seq numbers of cancellable entries still pending. Ordered set so
+    /// no iteration-order exception is ever needed.
+    live_keys: BTreeSet<u64>,
+    /// Seq numbers cancelled but not yet reaped from their buckets.
+    voided: BTreeSet<u64>,
+    cancelled: u64,
+    compactions: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1.0,
+            stored: 0,
+            next_seq: 0,
+            popped: 0,
+            now: SimTime::ZERO,
+            live_keys: BTreeSet::new(),
+            voided: BTreeSet::new(),
+            cancelled: 0,
+            compactions: 0,
+        }
+    }
+
+    fn day_of(&self, time: SimTime) -> u64 {
+        // Saturating cast: far-future times collapse into one "day",
+        // where the in-window scan still orders them by (time, seq).
+        (time.as_f64() / self.width) as u64
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time (causality).
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let nb = self.buckets.len();
+        let b = (self.day_of(time) % nb as u64) as usize;
+        self.buckets[b].push(Scheduled { time, seq, payload });
+        self.stored += 1;
+        if self.stored > 2 * nb {
+            self.resize(nb * 2);
+        }
+    }
+
+    /// Schedules `payload` at `now + dt`.
+    pub fn schedule_in(&mut self, dt: f64, payload: E) {
+        let t = self.now + dt;
+        self.schedule(t, payload);
+    }
+
+    /// Schedules `payload` at `time` and returns a key that can later
+    /// [`CalendarQueue::cancel`] the entry.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time (causality).
+    pub fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventKey {
+        let key = EventKey(self.next_seq);
+        self.schedule(time, payload);
+        self.live_keys.insert(key.0);
+        key
+    }
+
+    /// Schedules a cancellable `payload` at `now + dt`.
+    pub fn schedule_cancellable_in(&mut self, dt: f64, payload: E) -> EventKey {
+        let t = self.now + dt;
+        self.schedule_cancellable(t, payload)
+    }
+
+    /// Voids a cancellable entry (same semantics as
+    /// [`crate::EventQueue::cancel`]), compacting the buckets once
+    /// tombstones outnumber half the live entries.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let was_live = self.live_keys.remove(&key.0);
+        if was_live {
+            self.voided.insert(key.0);
+            self.cancelled += 1;
+            if self.voided.len() > self.len() / 2 {
+                self.compact();
+            }
+        }
+        was_live
+    }
+
+    /// Reaps every tombstone from every bucket.
+    fn compact(&mut self) {
+        if self.voided.is_empty() {
+            return;
+        }
+        for b in 0..self.buckets.len() {
+            self.purge_voided(b);
+        }
+        self.compactions += 1;
+    }
+
+    /// Drops the voided entries resident in bucket `b`.
+    fn purge_voided(&mut self, b: usize) {
+        if self.voided.is_empty() {
+            return;
+        }
+        let voided = &mut self.voided;
+        let mut removed = 0usize;
+        self.buckets[b].retain(|e| {
+            if voided.remove(&e.seq) {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.stored -= removed;
+    }
+
+    /// Redistributes every entry over `new_nb` buckets, re-estimating the
+    /// day width from the mean spacing of the stored events (≈3 of the
+    /// mean gap per window, Brown's rule of thumb).
+    fn resize(&mut self, new_nb: usize) {
+        let new_nb = new_nb.max(MIN_BUCKETS);
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.stored);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let mut min_t = f64::INFINITY;
+        let mut max_t = f64::NEG_INFINITY;
+        for e in &all {
+            min_t = min_t.min(e.time.as_f64());
+            max_t = max_t.max(e.time.as_f64());
+        }
+        let span = max_t - min_t;
+        let width = if all.is_empty() {
+            1.0
+        } else {
+            span / all.len() as f64 * 3.0
+        };
+        self.width = if width.is_finite() && width > 0.0 {
+            width
+        } else {
+            1.0
+        };
+        self.buckets = (0..new_nb).map(|_| Vec::new()).collect();
+        for e in all {
+            let b = (self.day_of(e.time) % new_nb as u64) as usize;
+            self.buckets[b].push(e);
+        }
+    }
+
+    /// Locates the next surviving event as `(bucket, slot)`, purging any
+    /// tombstones encountered on the way. `None` means empty (and leaves
+    /// the queue fully reaped).
+    fn find_next(&mut self) -> Option<(usize, usize)> {
+        if self.stored == self.voided.len() {
+            // Nothing but tombstones (possibly none at all).
+            if self.stored > 0 {
+                self.compact();
+            }
+            return None;
+        }
+        let nb = self.buckets.len() as u64;
+        let start = self.day_of(self.now);
+        // Every pending event has time >= now (causality + pop order),
+        // hence day >= start; visit day windows in increasing order and
+        // take the (time, seq) minimum of the first non-empty window.
+        for step in 0..nb {
+            let day = start.saturating_add(step);
+            let b = (day % nb) as usize;
+            self.purge_voided(b);
+            if let Some(slot) = Self::min_in_window(&self.buckets[b], |t| self.day_of(t) == day) {
+                return Some((b, slot));
+            }
+        }
+        // Sparse tail: no event within one full rotation of windows.
+        // Fall back to a direct scan for the global minimum.
+        let mut best: Option<(SimTime, u64, usize, usize)> = None;
+        for b in 0..self.buckets.len() {
+            self.purge_voided(b);
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                let candidate = (e.time, e.seq, b, i);
+                if best.is_none_or(|(bt, bs, _, _)| (e.time, e.seq) < (bt, bs)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(_, _, b, i)| (b, i))
+    }
+
+    /// Index of the `(time, seq)`-minimal entry of `bucket` whose time
+    /// falls in the current day window.
+    fn min_in_window(
+        bucket: &[Scheduled<E>],
+        in_window: impl Fn(SimTime) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            if !in_window(e.time) {
+                continue;
+            }
+            if best.is_none_or(|(bt, bs, _)| (e.time, e.seq) < (bt, bs)) {
+                best = Some((e.time, e.seq, i));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Pops the earliest surviving event, advancing the clock to its
+    /// timestamp. Cancelled entries are reaped without advancing the
+    /// clock or counting toward [`CalendarQueue::popped`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (b, i) = self.find_next()?;
+        let e = self.buckets[b].swap_remove(i);
+        self.stored -= 1;
+        self.live_keys.remove(&e.seq);
+        self.now = e.time;
+        self.popped += 1;
+        let nb = self.buckets.len();
+        if nb > MIN_BUCKETS && self.stored < nb / 4 {
+            self.resize(nb / 2);
+        }
+        Some((e.time, e.payload))
+    }
+
+    /// Timestamp of the next surviving event without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let (b, i) = self.find_next()?;
+        Some(self.buckets[b][i].time)
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.stored - self.voided.len()
+    }
+
+    /// True if no non-cancelled events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries cancelled over the queue's lifetime.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped (processed) over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Cancelled entries currently awaiting reaping.
+    pub fn tombstones(&self) -> u64 {
+        self.voided.len() as u64
+    }
+
+    /// Tombstone compaction sweeps performed over the queue's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of day buckets currently allocated (resize observability).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Records the queue's lifetime totals into an observability
+    /// registry under the [`quorum_obs::keys`] DES names.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(quorum_obs::keys::DES_EVENTS, self.popped);
+        registry.add("des.events_scheduled", self.next_seq);
+        registry.add(quorum_obs::keys::DES_QUEUE_COMPACTIONS, self.compactions);
+        registry.set_gauge(
+            quorum_obs::keys::DES_QUEUE_TOMBSTONES,
+            self.voided.len() as f64,
+        );
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grows_and_shrinks_with_load() {
+        let mut q = CalendarQueue::new();
+        for i in 0..500u64 {
+            // Deterministic scatter over [0, 100).
+            let t = (i.wrapping_mul(2_654_435_761) % 10_000) as f64 / 100.0;
+            q.schedule(SimTime::new(t), i);
+        }
+        assert!(q.num_buckets() > MIN_BUCKETS, "load must grow the table");
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.num_buckets(), MIN_BUCKETS, "drain must shrink back");
+        assert_eq!(q.popped(), 500);
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::new(0.5), "near");
+        q.schedule(SimTime::new(1.0e6), "far");
+        q.schedule(SimTime::new(2.5e6), "farther");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "farther");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_matches_heap_semantics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::new(1.0), "keep-a");
+        let key = q.schedule_cancellable(SimTime::new(2.0), "timer");
+        q.schedule(SimTime::new(3.0), "keep-b");
+        assert!(q.cancel(key));
+        assert!(!q.cancel(key), "double-cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancelled(), 1);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["keep-a", "keep-b"]);
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn tombstones_are_compacted() {
+        let mut q = CalendarQueue::new();
+        let keys: Vec<EventKey> = (0..100)
+            .map(|i| q.schedule_cancellable(SimTime::new(i as f64), i))
+            .collect();
+        for key in keys.iter().step_by(2) {
+            q.cancel(*key);
+        }
+        assert!(q.compactions() >= 1);
+        assert!(q.tombstones() <= q.len() as u64 / 2 + 1);
+        assert_eq!(q.len(), 50);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (1..100).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::new(9.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(9.0)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        q.pop();
+        q.schedule(SimTime::new(4.0), ());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of the randomized differential test.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Schedule(f64),
+            ScheduleCancellable(f64),
+            Pop,
+            /// Cancel the `k`-th most recently issued key (if any).
+            Cancel(usize),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            (0u8..4, 0.0f64..50.0, 0usize..8).prop_map(|(which, dt, k)| match which {
+                0 => Op::Schedule(dt),
+                1 => Op::ScheduleCancellable(dt),
+                2 => Op::Pop,
+                _ => Op::Cancel(k),
+            })
+        }
+
+        proptest! {
+            /// The calendar queue is observationally identical to the
+            /// binary-heap reference over arbitrary interleavings of
+            /// schedules, cancellable schedules, cancels, and pops.
+            #[test]
+            fn matches_binary_heap_reference(ops in prop::collection::vec(op_strategy(), 1..300)) {
+                let mut heap = EventQueue::new();
+                let mut cal = CalendarQueue::new();
+                let mut keys: Vec<EventKey> = Vec::new();
+                let mut payload = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Schedule(dt) => {
+                            heap.schedule_in(dt, payload);
+                            cal.schedule_in(dt, payload);
+                            payload += 1;
+                        }
+                        Op::ScheduleCancellable(dt) => {
+                            let hk = heap.schedule_cancellable_in(dt, payload);
+                            let ck = cal.schedule_cancellable_in(dt, payload);
+                            prop_assert_eq!(hk, ck, "key allocation must agree");
+                            keys.push(hk);
+                            payload += 1;
+                        }
+                        Op::Pop => {
+                            prop_assert_eq!(heap.pop(), cal.pop());
+                            prop_assert_eq!(heap.now(), cal.now());
+                        }
+                        Op::Cancel(k) => {
+                            if !keys.is_empty() {
+                                let key = keys[keys.len() - 1 - k % keys.len()];
+                                prop_assert_eq!(heap.cancel(key), cal.cancel(key));
+                            }
+                        }
+                    }
+                    prop_assert_eq!(heap.len(), cal.len());
+                    prop_assert_eq!(heap.scheduled(), cal.scheduled());
+                    prop_assert_eq!(heap.cancelled(), cal.cancelled());
+                }
+                loop {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    prop_assert_eq!(&a, &b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                prop_assert_eq!(heap.popped(), cal.popped());
+            }
+        }
+    }
+}

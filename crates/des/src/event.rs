@@ -4,12 +4,14 @@ use crate::time::SimTime;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashSet};
 
-/// One scheduled entry.
+/// One scheduled entry. Shared with the calendar-queue implementation
+/// so both event lists order entries by exactly the same `(time, seq)`
+/// key and therefore pop bit-identical sequences.
 #[derive(Debug, Clone)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -37,7 +39,7 @@ impl<E> Ord for Scheduled<E> {
 /// silently skipped when its turn comes (void-on-pop), so cancellation is
 /// O(1) and never perturbs the order of surviving events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventKey(u64);
+pub struct EventKey(pub(crate) u64);
 
 /// A deterministic future-event list.
 ///
@@ -60,6 +62,7 @@ pub struct EventQueue<E> {
     /// Seq numbers cancelled but not yet reaped from the heap.
     voided: HashSet<u64>,
     cancelled: u64,
+    compactions: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -73,6 +76,7 @@ impl<E> EventQueue<E> {
             live_keys: HashSet::new(),
             voided: HashSet::new(),
             cancelled: 0,
+            compactions: 0,
         }
     }
 
@@ -119,13 +123,33 @@ impl<E> EventQueue<E> {
     /// Voids a cancellable entry. Returns `true` if the entry was still
     /// pending (not yet popped or previously cancelled); the entry is then
     /// skipped silently when the heap reaches it.
+    ///
+    /// Tombstones are reaped eagerly once they outnumber half the live
+    /// entries, so retry-heavy runs (most timers beaten by replies) keep
+    /// the heap at O(live) instead of growing monotonically.
     pub fn cancel(&mut self, key: EventKey) -> bool {
         let was_live = self.live_keys.remove(&key.0);
         if was_live {
             self.voided.insert(key.0);
             self.cancelled += 1;
+            if self.voided.len() > self.len() / 2 {
+                self.compact();
+            }
         }
         was_live
+    }
+
+    /// Rebuilds the heap without the voided entries. Pop order is
+    /// unaffected: the heap's internal layout changes, but extraction is
+    /// always by the total `(time, seq)` order.
+    fn compact(&mut self) {
+        let heap = std::mem::take(&mut self.heap);
+        self.heap = heap
+            .into_iter()
+            .filter(|Reverse(ev)| !self.voided.contains(&ev.seq))
+            .collect();
+        self.voided.clear();
+        self.compactions += 1;
     }
 
     /// Pops the earliest surviving event, advancing the clock to its
@@ -176,6 +200,18 @@ impl<E> EventQueue<E> {
         self.cancelled
     }
 
+    /// Cancelled entries currently awaiting reaping (heap residency minus
+    /// live entries). Bounded by half the live entries plus one — the
+    /// compaction threshold.
+    pub fn tombstones(&self) -> u64 {
+        self.voided.len() as u64
+    }
+
+    /// Tombstone compaction sweeps performed over the queue's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Total events scheduled over the queue's lifetime.
     pub fn scheduled(&self) -> u64 {
         self.next_seq
@@ -191,6 +227,11 @@ impl<E> EventQueue<E> {
     pub fn observe_into(&self, registry: &quorum_obs::Registry) {
         registry.add(quorum_obs::keys::DES_EVENTS, self.popped);
         registry.add("des.events_scheduled", self.next_seq);
+        registry.add(quorum_obs::keys::DES_QUEUE_COMPACTIONS, self.compactions);
+        registry.set_gauge(
+            quorum_obs::keys::DES_QUEUE_TOMBSTONES,
+            self.voided.len() as f64,
+        );
     }
 }
 
@@ -332,6 +373,53 @@ mod tests {
         q.cancel(keys[4]);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
         assert_eq!(order, vec![0, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn tombstones_are_compacted_when_they_outnumber_half_the_live() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..100 {
+            keys.push(q.schedule_cancellable(SimTime::new(i as f64), i));
+        }
+        // Cancel even entries: tombstones cross live/2 long before the
+        // end, so at least one sweep must fire and the residue stays
+        // below the threshold.
+        for key in keys.iter().step_by(2) {
+            q.cancel(*key);
+        }
+        assert!(q.compactions() >= 1, "no compaction after 50 cancels");
+        assert!(
+            q.tombstones() <= q.len() as u64 / 2 + 1,
+            "tombstones {} vs live {}",
+            q.tombstones(),
+            q.len()
+        );
+        assert_eq!(q.len(), 50);
+        assert_eq!(q.cancelled(), 50);
+        // Survivors still pop in order, nothing lost or duplicated.
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (1..100).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_is_observable() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..8)
+            .map(|i| q.schedule_cancellable(SimTime::new(i as f64), i))
+            .collect();
+        for key in &keys[..6] {
+            q.cancel(*key);
+        }
+        let r = quorum_obs::Registry::new();
+        q.observe_into(&r);
+        let snap = r.snapshot();
+        assert!(snap.counter(quorum_obs::keys::DES_QUEUE_COMPACTIONS) >= 1);
+        let residue = q.tombstones();
+        assert_eq!(
+            snap.gauges.get(quorum_obs::keys::DES_QUEUE_TOMBSTONES),
+            Some(&(residue as f64))
+        );
     }
 
     #[test]

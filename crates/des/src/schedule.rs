@@ -1,0 +1,154 @@
+//! The scheduling interface shared by the event-list implementations.
+//!
+//! [`EventSchedule`] abstracts over the binary-heap [`EventQueue`]
+//! (the reference implementation) and the calendar-queue
+//! [`CalendarQueue`] (the production implementation) so simulators can
+//! be written once and run on either. Both implementations promise the
+//! same observable behaviour — pops in `(time, insertion)` order,
+//! cancellation by key, identical lifetime counters — and the
+//! equivalence proptests in `calendar.rs` pin that promise on random
+//! schedules.
+
+use crate::calendar::CalendarQueue;
+use crate::event::{EventKey, EventQueue};
+use crate::time::SimTime;
+
+/// A deterministic future-event list: events pop in non-decreasing time
+/// order with FIFO tie-breaking, and cancellable entries are voided in
+/// O(1) without perturbing the order of survivors.
+pub trait EventSchedule<E> {
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time.
+    fn schedule(&mut self, time: SimTime, payload: E);
+
+    /// Schedules `payload` at `now + dt`.
+    fn schedule_in(&mut self, dt: f64, payload: E);
+
+    /// Schedules `payload` at `time` and returns a cancellation key.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current simulation time.
+    fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventKey;
+
+    /// Schedules a cancellable `payload` at `now + dt`.
+    fn schedule_cancellable_in(&mut self, dt: f64, payload: E) -> EventKey;
+
+    /// Voids a cancellable entry; `true` if it was still pending.
+    fn cancel(&mut self, key: EventKey) -> bool;
+
+    /// Pops the earliest surviving event, advancing the clock to its
+    /// timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Timestamp of the next surviving event without popping.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Current simulation time (time of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Number of pending (non-cancelled) events.
+    fn len(&self) -> usize;
+
+    /// True if no non-cancelled events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the list's lifetime.
+    fn scheduled(&self) -> u64;
+
+    /// Total events popped (processed) over the list's lifetime.
+    fn popped(&self) -> u64;
+
+    /// Total entries cancelled over the list's lifetime.
+    fn cancelled(&self) -> u64;
+
+    /// Records the list's lifetime totals into an observability registry.
+    fn observe_into(&self, registry: &quorum_obs::Registry);
+}
+
+impl<E> EventSchedule<E> for EventQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) {
+        EventQueue::schedule(self, time, payload);
+    }
+    fn schedule_in(&mut self, dt: f64, payload: E) {
+        EventQueue::schedule_in(self, dt, payload);
+    }
+    fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventKey {
+        EventQueue::schedule_cancellable(self, time, payload)
+    }
+    fn schedule_cancellable_in(&mut self, dt: f64, payload: E) -> EventKey {
+        EventQueue::schedule_cancellable_in(self, dt, payload)
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        EventQueue::cancel(self, key)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn scheduled(&self) -> u64 {
+        EventQueue::scheduled(self)
+    }
+    fn popped(&self) -> u64 {
+        EventQueue::popped(self)
+    }
+    fn cancelled(&self) -> u64 {
+        EventQueue::cancelled(self)
+    }
+    fn observe_into(&self, registry: &quorum_obs::Registry) {
+        EventQueue::observe_into(self, registry);
+    }
+}
+
+impl<E> EventSchedule<E> for CalendarQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) {
+        CalendarQueue::schedule(self, time, payload);
+    }
+    fn schedule_in(&mut self, dt: f64, payload: E) {
+        CalendarQueue::schedule_in(self, dt, payload);
+    }
+    fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventKey {
+        CalendarQueue::schedule_cancellable(self, time, payload)
+    }
+    fn schedule_cancellable_in(&mut self, dt: f64, payload: E) -> EventKey {
+        CalendarQueue::schedule_cancellable_in(self, dt, payload)
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        CalendarQueue::cancel(self, key)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn scheduled(&self) -> u64 {
+        CalendarQueue::scheduled(self)
+    }
+    fn popped(&self) -> u64 {
+        CalendarQueue::popped(self)
+    }
+    fn cancelled(&self) -> u64 {
+        CalendarQueue::cancelled(self)
+    }
+    fn observe_into(&self, registry: &quorum_obs::Registry) {
+        CalendarQueue::observe_into(self, registry);
+    }
+}

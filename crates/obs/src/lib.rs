@@ -45,6 +45,27 @@ pub mod keys {
     pub const DES_LINK_TRANSITIONS: &str = "des.link_transitions";
     /// Accesses submitted (warm-up + measured).
     pub const DES_ACCESSES: &str = "des.accesses";
+    /// Cancelled-timer tombstones still resident in the event list at
+    /// observation time (gauge).
+    pub const DES_QUEUE_TOMBSTONES: &str = "des.queue_tombstones";
+    /// Tombstone compaction sweeps performed by the event list.
+    pub const DES_QUEUE_COMPACTIONS: &str = "des.queue_compactions";
+    /// Objects simulated by the sharded throughput engine.
+    pub const SHARD_OBJECTS: &str = "shard.objects";
+    /// Shards the object space was partitioned into.
+    pub const SHARD_SHARDS: &str = "shard.shards";
+    /// Accesses dispatched across all objects (reads + writes).
+    pub const SHARD_ACCESSES: &str = "shard.accesses";
+    /// Connectivity epochs in the shared failure timeline.
+    pub const SHARD_EPOCHS: &str = "shard.epochs";
+    /// Reads granted across all objects.
+    pub const SHARD_READS_GRANTED: &str = "shard.reads_granted";
+    /// Writes granted across all objects.
+    pub const SHARD_WRITES_GRANTED: &str = "shard.writes_granted";
+    /// Reads submitted across all objects.
+    pub const SHARD_READS_SUBMITTED: &str = "shard.reads_submitted";
+    /// Writes submitted across all objects.
+    pub const SHARD_WRITES_SUBMITTED: &str = "shard.writes_submitted";
     /// Component-cache queries served without a BFS.
     pub const CACHE_HITS: &str = "graph.component_cache.hits";
     /// Component-cache queries that recomputed the BFS.

@@ -1,0 +1,217 @@
+//! Per-object quorum/workload catalog.
+//!
+//! A catalog maps each object id to an **object class** — a (vote
+//! assignment, quorum spec, read ratio, base access rate) tuple — plus a
+//! deterministic per-object rate jitter, so a million objects don't need
+//! a million stored records. Class and rate assignment are pure hashes
+//! of the object id (fixed salts, independent of the run seed), so the
+//! same object keeps the same quorum configuration across seeds and the
+//! workload composition is stable for baseline comparisons.
+
+use quorum_core::quorum::QuorumSpec;
+use quorum_core::votes::VoteAssignment;
+use quorum_stats::rng::derive_seed;
+
+/// Salt for the object → class hash (fixed: workload shape is part of
+/// the benchmark definition, not of the run seed).
+const CLASS_SALT: u64 = 0x5348_4152_445f_434c; // "SHARD_CL"
+/// Salt for the object → rate-jitter hash.
+const RATE_SALT: u64 = 0x5348_4152_445f_5254; // "SHARD_RT"
+
+/// One equivalence class of objects: how they vote and how they are
+/// accessed.
+#[derive(Debug, Clone)]
+pub struct ObjectClass {
+    /// Human-readable label (manifest/debug only).
+    pub name: &'static str,
+    /// Votes per site for objects of this class.
+    pub votes: VoteAssignment,
+    /// Read/write quorum thresholds over those votes.
+    pub spec: QuorumSpec,
+    /// Probability an access is a read.
+    pub alpha: f64,
+    /// Base Poisson access rate (events per unit simulated time),
+    /// before per-object jitter.
+    pub base_rate: f64,
+}
+
+/// The full object population: classes plus the object → class map.
+#[derive(Debug, Clone)]
+pub struct ObjectCatalog {
+    classes: Vec<ObjectClass>,
+    objects: u64,
+}
+
+impl ObjectCatalog {
+    /// A heterogeneous population over `n_sites` sites in the spirit of
+    /// the paper's §5 study: majority voting as the baseline, a
+    /// read-optimized assignment (small read quorum), a write-heavy
+    /// majority class, a weighted "core sites carry 3 votes" class, and
+    /// read-one/write-all for the almost-never-written tail.
+    ///
+    /// # Panics
+    /// Panics if `n_sites < 2` or `objects == 0`.
+    pub fn paper_mix(n_sites: usize, objects: u64) -> Self {
+        assert!(n_sites >= 2, "need at least two sites");
+        assert!(objects > 0, "need at least one object");
+        let n = n_sites as u64;
+        let core = n_sites.min(5);
+        let mut weighted = vec![1u64; n_sites];
+        for w in weighted.iter_mut().take(core) {
+            *w = 3;
+        }
+        let weighted_total: u64 = weighted.iter().sum();
+        let classes = vec![
+            ObjectClass {
+                name: "maj-balanced",
+                votes: VoteAssignment::uniform(n_sites),
+                spec: QuorumSpec::majority(n),
+                alpha: 0.70,
+                base_rate: 1.0,
+            },
+            ObjectClass {
+                name: "read-mostly",
+                votes: VoteAssignment::uniform(n_sites),
+                spec: QuorumSpec::from_read_quorum((n / 4).max(1), n)
+                    .expect("1 <= n/4 <= n/2 for n >= 2"),
+                alpha: 0.95,
+                base_rate: 2.0,
+            },
+            ObjectClass {
+                name: "write-heavy",
+                votes: VoteAssignment::uniform(n_sites),
+                spec: QuorumSpec::majority(n),
+                alpha: 0.30,
+                base_rate: 0.5,
+            },
+            ObjectClass {
+                name: "weighted-core",
+                votes: VoteAssignment::weighted(weighted),
+                spec: QuorumSpec::majority(weighted_total),
+                alpha: 0.70,
+                base_rate: 1.0,
+            },
+            ObjectClass {
+                name: "rowa",
+                votes: VoteAssignment::uniform(n_sites),
+                spec: QuorumSpec::read_one_write_all(n),
+                alpha: 0.99,
+                base_rate: 4.0,
+            },
+        ];
+        Self { classes, objects }
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of objects in the population.
+    pub fn num_objects(&self) -> u64 {
+        self.objects
+    }
+
+    /// The classes, index-aligned with [`Self::class_of`].
+    pub fn classes(&self) -> &[ObjectClass] {
+        &self.classes
+    }
+
+    /// The class definition for index `k`.
+    pub fn class(&self, k: usize) -> &ObjectClass {
+        &self.classes[k]
+    }
+
+    /// Class index of one object (pure hash of the id).
+    pub fn class_of(&self, object: u64) -> usize {
+        (derive_seed(CLASS_SALT, object) % self.classes.len() as u64) as usize
+    }
+
+    /// Poisson access rate of one object: the class base rate scaled by
+    /// a deterministic jitter uniform in `[0.5, 1.5)`, so arrival gaps
+    /// differ across objects of the same class.
+    pub fn rate_of(&self, object: u64) -> f64 {
+        let u = (derive_seed(RATE_SALT, object) >> 11) as f64 / (1u64 << 53) as f64;
+        self.classes[self.class_of(object)].base_rate * (0.5 + u)
+    }
+
+    /// Mean access rate over the whole population (exact sum of
+    /// [`Self::rate_of`]; used for load reporting, not for sampling).
+    pub fn total_rate(&self) -> f64 {
+        (0..self.objects).map(|o| self.rate_of(o)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_core::protocol::Access;
+
+    #[test]
+    fn paper_mix_has_five_classes_and_all_are_hit() {
+        let c = ObjectCatalog::paper_mix(13, 1000);
+        assert_eq!(c.num_classes(), 5);
+        let mut seen = vec![0u64; c.num_classes()];
+        for o in 0..c.num_objects() {
+            seen[c.class_of(o)] += 1;
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "hash should spread objects over every class: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn rates_are_jittered_within_half_to_threehalves_of_base() {
+        let c = ObjectCatalog::paper_mix(7, 500);
+        let mut distinct = std::collections::BTreeSet::new();
+        for o in 0..c.num_objects() {
+            let base = c.class(c.class_of(o)).base_rate;
+            let r = c.rate_of(o);
+            assert!(r >= 0.5 * base && r < 1.5 * base, "rate {r} vs base {base}");
+            distinct.insert(r.to_bits());
+        }
+        assert!(
+            distinct.len() > 100,
+            "jitter should be near-unique per object"
+        );
+    }
+
+    #[test]
+    fn class_and_rate_are_deterministic_and_seed_free() {
+        let a = ObjectCatalog::paper_mix(9, 64);
+        let b = ObjectCatalog::paper_mix(9, 64);
+        for o in 0..64 {
+            assert_eq!(a.class_of(o), b.class_of(o));
+            assert_eq!(a.rate_of(o).to_bits(), b.rate_of(o).to_bits());
+        }
+    }
+
+    #[test]
+    fn specs_are_internally_consistent() {
+        let c = ObjectCatalog::paper_mix(101, 1);
+        for class in c.classes() {
+            assert_eq!(class.spec.total(), class.votes.total(), "{}", class.name);
+            assert!(class.spec.threshold(Access::Read) >= 1);
+            assert!((0.0..=1.0).contains(&class.alpha));
+            assert!(class.base_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_core_concentrates_votes() {
+        let c = ObjectCatalog::paper_mix(101, 1);
+        let weighted = &c.classes()[3];
+        assert_eq!(weighted.votes.votes_of(0), 3);
+        assert_eq!(weighted.votes.votes_of(100), 1);
+        assert_eq!(weighted.votes.total(), 5 * 3 + 96);
+    }
+
+    #[test]
+    fn tiny_population_still_valid() {
+        let c = ObjectCatalog::paper_mix(2, 3);
+        for class in c.classes() {
+            assert!(class.spec.q_r() >= 1);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The throughput engine: batched sharded walks vs the naive heap.
+//!
+//! Both engines simulate the identical system — every object's Poisson
+//! access walk over the shared [`FailureTimeline`] — and consume each
+//! object's RNG stream in the identical order (gap, then kind, then
+//! site, repeat), so their aggregate statistics are **equal**, not
+//! merely statistically indistinguishable:
+//!
+//! * [`ShardEngine::run_sharded`] partitions the object space into
+//!   contiguous shards and fans them through [`quorum_stats::converge`].
+//!   Each shard walks its objects in one tight loop — no event queue at
+//!   all — and returns an all-`u64` [`ShardStats`] whose merge is
+//!   associative and commutative, making the aggregate invariant to
+//!   shard partitioning *and* thread count.
+//! * [`ShardEngine::run_naive`] is the classical formulation: one
+//!   binary-heap future-event list holding every object's next access,
+//!   popped one access at a time (`O(log N)` per access with `N` heap
+//!   entries). It exists as the correctness pin and as the benchmark
+//!   baseline the batched path is measured against.
+
+use crate::catalog::ObjectCatalog;
+use crate::timeline::FailureTimeline;
+use quorum_core::protocol::Access;
+use quorum_graph::Topology;
+use quorum_stats::rng::{derive_seed, exponential, rng_from_seed};
+use quorum_stats::{converge, ConvergeParams, Convergence};
+use rand::Rng;
+
+/// Aggregate access tallies of a run (or of one shard of it).
+///
+/// Every field is an exact integer count, so merging shards is
+/// associative/commutative and aggregates are bit-stable across any
+/// partitioning of the object space.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Objects walked.
+    pub objects: u64,
+    /// Accesses dispatched (reads + writes).
+    pub accesses: u64,
+    /// Reads submitted.
+    pub reads_submitted: u64,
+    /// Writes submitted.
+    pub writes_submitted: u64,
+    /// Reads granted a quorum.
+    pub reads_granted: u64,
+    /// Writes granted a quorum.
+    pub writes_granted: u64,
+    /// Accesses per object class, index-aligned with the catalog.
+    pub class_accesses: Vec<u64>,
+    /// Granted accesses per object class.
+    pub class_granted: Vec<u64>,
+}
+
+impl ShardStats {
+    /// An empty tally over `classes` object classes.
+    pub fn new(classes: usize) -> Self {
+        Self {
+            class_accesses: vec![0; classes],
+            class_granted: vec![0; classes],
+            ..Self::default()
+        }
+    }
+
+    /// Adds another tally into this one.
+    ///
+    /// # Panics
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ShardStats) {
+        assert_eq!(self.class_accesses.len(), other.class_accesses.len());
+        self.objects += other.objects;
+        self.accesses += other.accesses;
+        self.reads_submitted += other.reads_submitted;
+        self.writes_submitted += other.writes_submitted;
+        self.reads_granted += other.reads_granted;
+        self.writes_granted += other.writes_granted;
+        for (a, b) in self.class_accesses.iter_mut().zip(&other.class_accesses) {
+            *a += b;
+        }
+        for (a, b) in self.class_granted.iter_mut().zip(&other.class_granted) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of accesses granted (1.0 for an empty tally).
+    pub fn availability(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            (self.reads_granted + self.writes_granted) as f64 / self.accesses as f64
+        }
+    }
+
+    /// Publishes the tallies into an observability registry under the
+    /// `shard.*` keys. Only partition-invariant totals are recorded, so
+    /// manifests built from the snapshot are byte-identical across
+    /// shard and thread counts.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(quorum_obs::keys::SHARD_OBJECTS, self.objects);
+        registry.add(quorum_obs::keys::SHARD_ACCESSES, self.accesses);
+        registry.add(
+            quorum_obs::keys::SHARD_READS_SUBMITTED,
+            self.reads_submitted,
+        );
+        registry.add(
+            quorum_obs::keys::SHARD_WRITES_SUBMITTED,
+            self.writes_submitted,
+        );
+        registry.add(quorum_obs::keys::SHARD_READS_GRANTED, self.reads_granted);
+        registry.add(quorum_obs::keys::SHARD_WRITES_GRANTED, self.writes_granted);
+    }
+}
+
+/// The engine: topology + catalog + timeline + the run seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardEngine<'a> {
+    topology: &'a Topology,
+    catalog: &'a ObjectCatalog,
+    timeline: &'a FailureTimeline,
+    horizon: f64,
+    seed: u64,
+}
+
+impl<'a> ShardEngine<'a> {
+    /// Binds an engine to a prepared run. `seed` must be the same master
+    /// seed the timeline was built with (the timeline consumes stream 1,
+    /// the access walks consume stream 2).
+    pub fn new(
+        topology: &'a Topology,
+        catalog: &'a ObjectCatalog,
+        timeline: &'a FailureTimeline,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            topology,
+            catalog,
+            timeline,
+            horizon,
+            seed,
+        }
+    }
+
+    /// Master seed of the per-object access RNG streams.
+    fn access_master(&self) -> u64 {
+        derive_seed(self.seed, 2)
+    }
+
+    /// Walks one object's full access history into `stats`.
+    ///
+    /// Draw order per access — gap, then read/write kind, then
+    /// submitting site — is the contract both engines share; the naive
+    /// engine consumes the same per-object stream in the same order, so
+    /// the tallies agree exactly.
+    fn walk_object(&self, object: u64, stats: &mut ShardStats) {
+        let n = self.topology.num_sites();
+        let class = self.catalog.class_of(object);
+        let alpha = self.catalog.class(class).alpha;
+        let rate = self.catalog.rate_of(object);
+        let ends = self.timeline.epoch_ends();
+        let mut rng = rng_from_seed(derive_seed(self.access_master(), object));
+        let mut epoch = 0usize;
+        let mut t = exponential(&mut rng, rate);
+        stats.objects += 1;
+        while t < self.horizon {
+            let is_read = rng.random::<f64>() < alpha;
+            let site = ((rng.random::<f64>() * n as f64) as usize).min(n - 1);
+            while ends[epoch] <= t {
+                epoch += 1;
+            }
+            self.tally(stats, class, epoch, site, is_read);
+            t += exponential(&mut rng, rate);
+        }
+    }
+
+    /// Records one access outcome.
+    #[inline]
+    fn tally(
+        &self,
+        stats: &mut ShardStats,
+        class: usize,
+        epoch: usize,
+        site: usize,
+        is_read: bool,
+    ) {
+        let kind = if is_read { Access::Read } else { Access::Write };
+        let granted = self.timeline.granted(epoch, class, site, kind);
+        stats.accesses += 1;
+        stats.class_accesses[class] += 1;
+        if is_read {
+            stats.reads_submitted += 1;
+            stats.reads_granted += u64::from(granted);
+        } else {
+            stats.writes_submitted += 1;
+            stats.writes_granted += u64::from(granted);
+        }
+        stats.class_granted[class] += u64::from(granted);
+    }
+
+    /// Contiguous object range of shard `b` of `shards` (balanced to
+    /// within one object).
+    fn shard_range(&self, shards: u64, b: u64) -> (u64, u64) {
+        let objects = self.catalog.num_objects();
+        let base = objects / shards;
+        let rem = objects % shards;
+        let lo = b * base + b.min(rem);
+        let hi = lo + base + u64::from(b < rem);
+        (lo, hi)
+    }
+
+    /// Runs the batched engine: `shards` contiguous object ranges fanned
+    /// over `threads` workers through [`quorum_stats::converge`].
+    ///
+    /// Every shard is dispatched and consumed (`min_batches ==
+    /// max_batches == shards`, with a vanishing half-width target so the
+    /// orchestrator never discards a speculative batch), and shard
+    /// tallies merge in shard-index order — the aggregate is therefore
+    /// invariant to both the shard count and the thread count.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= shards <= objects`.
+    pub fn run_sharded(&self, shards: u64, threads: usize) -> (ShardStats, Convergence) {
+        assert!(
+            shards >= 2,
+            "the batch orchestrator needs at least 2 shards"
+        );
+        assert!(
+            shards <= self.catalog.num_objects(),
+            "more shards than objects"
+        );
+        let params = ConvergeParams {
+            confidence: 0.95,
+            // Shards are a partition of one run, not independent
+            // replicates: convergence must never stop the fan-out
+            // early, so the target is unreachably tight and
+            // min == max pins the batch count to the shard count.
+            target_half_width: 1e-12,
+            min_batches: shards,
+            max_batches: shards,
+            threads,
+        };
+        let mut total = ShardStats::new(self.catalog.num_classes());
+        let conv = converge(
+            &params,
+            |b| {
+                let (lo, hi) = self.shard_range(shards, b);
+                let mut s = ShardStats::new(self.catalog.num_classes());
+                for o in lo..hi {
+                    self.walk_object(o, &mut s);
+                }
+                s
+            },
+            |s| s.accesses as f64,
+            |_, s, _| total.merge(&s),
+        );
+        (total, conv)
+    }
+
+    /// Runs the naive reference engine: every object's next access lives
+    /// in one binary-heap future-event list, popped one at a time.
+    ///
+    /// Consumes each per-object RNG stream in exactly the order
+    /// [`Self::run_sharded`] does, so the returned tally is equal — the
+    /// difference is purely the `O(log N)`-per-access event-list traffic
+    /// this formulation pays.
+    pub fn run_naive(&self) -> ShardStats {
+        let objects = self.catalog.num_objects();
+        let master = self.access_master();
+        let mut queue: quorum_des::EventQueue<u64> = quorum_des::EventQueue::new();
+        let mut rngs = Vec::with_capacity(objects as usize);
+        let mut rates = Vec::with_capacity(objects as usize);
+        for o in 0..objects {
+            let mut rng = rng_from_seed(derive_seed(master, o));
+            let rate = self.catalog.rate_of(o);
+            let t = exponential(&mut rng, rate);
+            if t < self.horizon {
+                queue.schedule(quorum_des::SimTime::new(t), o);
+            }
+            rngs.push(rng);
+            rates.push(rate);
+        }
+        let n = self.topology.num_sites();
+        let ends = self.timeline.epoch_ends();
+        let mut stats = ShardStats::new(self.catalog.num_classes());
+        stats.objects = objects;
+        let mut epoch = 0usize;
+        while let Some((t, o)) = queue.pop() {
+            let rng = &mut rngs[o as usize];
+            let class = self.catalog.class_of(o);
+            let is_read = rng.random::<f64>() < self.catalog.class(class).alpha;
+            let site = ((rng.random::<f64>() * n as f64) as usize).min(n - 1);
+            // Pops arrive in global time order, so one cursor serves
+            // every object.
+            while ends[epoch] <= t.as_f64() {
+                epoch += 1;
+            }
+            self.tally(&mut stats, class, epoch, site, is_read);
+            let next = t.as_f64() + exponential(rng, rates[o as usize]);
+            if next < self.horizon {
+                queue.schedule(quorum_des::SimTime::new(next), o);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum_des::SimParams;
+
+    struct Fixture {
+        topology: Topology,
+        catalog: ObjectCatalog,
+        timeline: FailureTimeline,
+        horizon: f64,
+        seed: u64,
+    }
+
+    fn fixture(objects: u64, horizon: f64, seed: u64) -> Fixture {
+        let topology = Topology::ring_with_chords(13, 3);
+        let catalog = ObjectCatalog::paper_mix(13, objects);
+        let timeline =
+            FailureTimeline::build(&topology, &catalog, &SimParams::quick(), horizon, seed);
+        Fixture {
+            topology,
+            catalog,
+            timeline,
+            horizon,
+            seed,
+        }
+    }
+
+    impl Fixture {
+        fn engine(&self) -> ShardEngine<'_> {
+            ShardEngine::new(
+                &self.topology,
+                &self.catalog,
+                &self.timeline,
+                self.horizon,
+                self.seed,
+            )
+        }
+    }
+
+    #[test]
+    fn batched_equals_naive_exactly() {
+        let f = fixture(100, 80.0, 7);
+        let engine = f.engine();
+        let (batched, conv) = engine.run_sharded(4, 1);
+        let naive = engine.run_naive();
+        assert_eq!(batched, naive);
+        assert_eq!(conv.batches, 4);
+        assert!(batched.accesses > 1000, "80 time units x 100 objects");
+        assert_eq!(
+            batched.reads_submitted + batched.writes_submitted,
+            batched.accesses
+        );
+    }
+
+    #[test]
+    fn aggregate_is_invariant_to_shard_partitioning() {
+        let f = fixture(97, 60.0, 13);
+        let engine = f.engine();
+        let (a, _) = engine.run_sharded(2, 1);
+        let (b, _) = engine.run_sharded(5, 1);
+        let (c, _) = engine.run_sharded(97, 1);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn aggregate_is_invariant_to_thread_count() {
+        let f = fixture(64, 60.0, 29);
+        let engine = f.engine();
+        let (a, _) = engine.run_sharded(8, 1);
+        let (b, _) = engine.run_sharded(8, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn long_run_sees_denials() {
+        let f = fixture(40, 2000.0, 7);
+        let (s, _) = f.engine().run_sharded(4, 2);
+        assert!(s.reads_granted < s.reads_submitted || s.writes_granted < s.writes_submitted);
+        assert!(s.availability() < 1.0);
+        assert!(
+            s.availability() > 0.5,
+            "96% reliability keeps availability high"
+        );
+    }
+
+    #[test]
+    fn every_class_sees_traffic() {
+        let f = fixture(200, 40.0, 3);
+        let (s, _) = f.engine().run_sharded(4, 1);
+        assert!(
+            s.class_accesses.iter().all(|&n| n > 0),
+            "{:?}",
+            s.class_accesses
+        );
+        assert_eq!(s.class_accesses.iter().sum::<u64>(), s.accesses);
+    }
+
+    #[test]
+    fn stats_merge_is_exact() {
+        let mut a = ShardStats::new(2);
+        a.accesses = 3;
+        a.class_accesses[1] = 3;
+        let mut b = ShardStats::new(2);
+        b.accesses = 4;
+        b.class_accesses[0] = 4;
+        a.merge(&b);
+        assert_eq!(a.accesses, 7);
+        assert_eq!(a.class_accesses, vec![4, 3]);
+    }
+
+    #[test]
+    fn observe_publishes_partition_invariant_totals() {
+        let f = fixture(32, 30.0, 5);
+        let (s, _) = f.engine().run_sharded(4, 1);
+        let reg = quorum_obs::Registry::new();
+        s.observe_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(quorum_obs::keys::SHARD_OBJECTS), 32);
+        assert_eq!(snap.counter(quorum_obs::keys::SHARD_ACCESSES), s.accesses);
+        assert!(snap.gauges.is_empty(), "engine publishes no gauges");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 shards")]
+    fn single_shard_rejected() {
+        let f = fixture(10, 1.0, 1);
+        f.engine().run_sharded(1, 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Shared failure timeline: one connectivity history for all objects.
+//!
+//! The §5.2 site/link renewal processes are independent of the access
+//! workload, so a run over `N` objects needs the network sample path
+//! exactly once. [`FailureTimeline::build`] replays the failure stream
+//! through the calendar event queue and the incremental component
+//! kernel, cutting simulated time into **epochs** (maximal intervals
+//! with constant partition structure) and precomputing, per epoch, a
+//! per-class × per-site grant bitmask: "would a read (bit 0) / write
+//! (bit 1) submitted at site `s` for a class-`k` object be granted?".
+//!
+//! After that, serving a quorum check for any access is one byte load —
+//! the million-object access loops never touch the graph code.
+
+use crate::catalog::ObjectCatalog;
+use quorum_core::protocol::Access;
+use quorum_des::{CalendarQueue, SimParams};
+use quorum_graph::{ComponentCache, ComponentView, NetworkState, Topology, TopologyEvent};
+use quorum_replica::FailureProcesses;
+use quorum_stats::rng::{derive_seed, rng_from_seed};
+
+/// Read-granted bit in a grant mask.
+const READ_BIT: u8 = 1;
+/// Write-granted bit in a grant mask.
+const WRITE_BIT: u8 = 2;
+
+/// One failure/repair event in the timeline replay.
+enum TimelineEvent {
+    Site(usize),
+    Link(usize),
+}
+
+/// The materialized connectivity history of one run.
+#[derive(Debug, Clone)]
+pub struct FailureTimeline {
+    /// Exclusive end time of each epoch; the last entry is the horizon.
+    epoch_end: Vec<f64>,
+    /// Grant masks, indexed `[(epoch * classes + class) * sites + site]`.
+    grants: Vec<u8>,
+    sites: usize,
+    classes: usize,
+    site_transitions: u64,
+    link_transitions: u64,
+}
+
+impl FailureTimeline {
+    /// Replays the failure stream for `[0, horizon)` and precomputes the
+    /// per-epoch grant tables.
+    ///
+    /// The failure RNG stream is `derive_seed(seed, 1)` — the same
+    /// master/stream split the per-object access walks use (they draw
+    /// from stream 2), so one `seed` fixes the whole run.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is not positive and finite.
+    pub fn build(
+        topology: &Topology,
+        catalog: &ObjectCatalog,
+        params: &SimParams,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive and finite"
+        );
+        let n = topology.num_sites();
+        let m = topology.num_links();
+        let uniform = vec![1u64; n];
+        let mut rng = rng_from_seed(derive_seed(seed, 1));
+        let mut procs = FailureProcesses::new(params, n, m, None, None);
+        let mut queue: CalendarQueue<TimelineEvent> = CalendarQueue::new();
+        procs.schedule_initial(
+            &mut queue,
+            &mut rng,
+            TimelineEvent::Site,
+            TimelineEvent::Link,
+        );
+        let mut state = NetworkState::all_up(topology);
+        let mut cache = ComponentCache::incremental();
+
+        let mut out = Self {
+            epoch_end: Vec::new(),
+            grants: Vec::new(),
+            sites: n,
+            classes: catalog.num_classes(),
+            site_transitions: 0,
+            link_transitions: 0,
+        };
+
+        loop {
+            let t = match queue.peek_time() {
+                Some(t) if t.as_f64() < horizon => t,
+                _ => break,
+            };
+            // The epoch ending at `t` ran under the current state.
+            out.push_epoch(
+                t.as_f64(),
+                catalog,
+                &state,
+                cache.view(topology, &state, &uniform),
+            );
+            // Apply every event at exactly `t` before cutting the next
+            // epoch, so simultaneous transitions produce one epoch, not
+            // a stack of zero-length ones.
+            while queue.peek_time().map(SimTimeBits::bits) == Some(t.bits()) {
+                let (_, ev) = queue.pop().expect("peeked");
+                match ev {
+                    TimelineEvent::Site(i) => {
+                        out.site_transitions += 1;
+                        let (up, gap) = procs.site_transition(i, &mut rng);
+                        if state.set_site(i, up) {
+                            cache.apply_event(
+                                topology,
+                                &state,
+                                &uniform,
+                                TopologyEvent::Site { site: i, up },
+                            );
+                        }
+                        queue.schedule_in(gap, TimelineEvent::Site(i));
+                    }
+                    TimelineEvent::Link(i) => {
+                        out.link_transitions += 1;
+                        let (up, gap) = procs.link_transition(i, &mut rng);
+                        if state.set_link(i, up) {
+                            cache.apply_event(
+                                topology,
+                                &state,
+                                &uniform,
+                                TopologyEvent::Link { link: i, up },
+                            );
+                        }
+                        queue.schedule_in(gap, TimelineEvent::Link(i));
+                    }
+                }
+            }
+        }
+        // Final epoch: from the last transition to the horizon.
+        out.push_epoch(
+            horizon,
+            catalog,
+            &state,
+            cache.view(topology, &state, &uniform),
+        );
+        out
+    }
+
+    /// Records the grant table of the epoch ending at `end`.
+    fn push_epoch(
+        &mut self,
+        end: f64,
+        catalog: &ObjectCatalog,
+        state: &NetworkState,
+        view: &ComponentView,
+    ) {
+        self.epoch_end.push(end);
+        let comps = view.num_components();
+        let mut comp_votes = vec![0u64; comps];
+        for (k, class) in catalog.classes().iter().enumerate() {
+            debug_assert_eq!(k, self.grants.len() / self.sites % self.classes);
+            comp_votes.iter_mut().for_each(|v| *v = 0);
+            for s in 0..self.sites {
+                let c = view.component_of(s);
+                if c != ComponentView::DOWN {
+                    comp_votes[c as usize] += class.votes.votes_of(s);
+                }
+            }
+            for s in 0..self.sites {
+                let c = view.component_of(s);
+                let mask = if c == ComponentView::DOWN || !state.site_up(s) {
+                    0
+                } else {
+                    let v = comp_votes[c as usize];
+                    u8::from(class.spec.read_granted(v))
+                        | (u8::from(class.spec.write_granted(v)) << 1)
+                };
+                self.grants.push(mask);
+            }
+        }
+    }
+
+    /// Number of connectivity epochs (≥ 1; at least the all-up one).
+    pub fn num_epochs(&self) -> usize {
+        self.epoch_end.len()
+    }
+
+    /// Exclusive end times of the epochs (last entry = horizon).
+    pub fn epoch_ends(&self) -> &[f64] {
+        &self.epoch_end
+    }
+
+    /// Whether a read submitted at `site` during `epoch` is granted for
+    /// a class-`k` object.
+    #[inline]
+    pub fn granted(&self, epoch: usize, class: usize, site: usize, kind: Access) -> bool {
+        let mask = self.grants[(epoch * self.classes + class) * self.sites + site];
+        match kind {
+            Access::Read => mask & READ_BIT != 0,
+            Access::Write => mask & WRITE_BIT != 0,
+        }
+    }
+
+    /// Site up/down transitions applied before the horizon.
+    pub fn site_transitions(&self) -> u64 {
+        self.site_transitions
+    }
+
+    /// Link up/down transitions applied before the horizon.
+    pub fn link_transitions(&self) -> u64 {
+        self.link_transitions
+    }
+
+    /// Publishes timeline totals into an observability registry.
+    pub fn observe_into(&self, registry: &quorum_obs::Registry) {
+        registry.add(
+            quorum_obs::keys::DES_SITE_TRANSITIONS,
+            self.site_transitions,
+        );
+        registry.add(
+            quorum_obs::keys::DES_LINK_TRANSITIONS,
+            self.link_transitions,
+        );
+        registry.add(quorum_obs::keys::SHARD_EPOCHS, self.num_epochs() as u64);
+    }
+}
+
+/// Total-order bit view of a [`quorum_des::SimTime`] for exact
+/// same-timestamp grouping without a float `==` (timestamps compared
+/// here are copies of one another, so bit equality is the intent).
+trait SimTimeBits {
+    fn bits(self) -> u64;
+}
+
+impl SimTimeBits for quorum_des::SimTime {
+    fn bits(self) -> u64 {
+        self.as_f64().to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_timeline(horizon: f64, seed: u64) -> (Topology, ObjectCatalog, FailureTimeline) {
+        let t = Topology::ring_with_chords(13, 3);
+        let c = ObjectCatalog::paper_mix(13, 10);
+        let params = SimParams::quick();
+        let tl = FailureTimeline::build(&t, &c, &params, horizon, seed);
+        (t, c, tl)
+    }
+
+    #[test]
+    fn epochs_are_monotone_and_end_at_horizon() {
+        let (_, _, tl) = quick_timeline(400.0, 11);
+        let ends = tl.epoch_ends();
+        assert!(!ends.is_empty());
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ends.last().copied(), Some(400.0));
+        assert!(
+            tl.num_epochs() > 1,
+            "μ_f = 128 over 400 time units should produce transitions"
+        );
+        // Epoch count can be below transitions+1 (simultaneous events
+        // coalesce into one boundary), never above.
+        assert!(tl.num_epochs() as u64 <= tl.site_transitions() + tl.link_transitions() + 1);
+    }
+
+    #[test]
+    fn all_up_epoch_grants_everything_the_specs_allow() {
+        // Horizon far below μ_f with a fixed seed that schedules no
+        // transition before it: the single epoch is the all-up network.
+        let (_, c, tl) = quick_timeline(0.001, 11);
+        assert_eq!(tl.num_epochs(), 1);
+        for (k, class) in c.classes().iter().enumerate() {
+            for s in 0..13 {
+                assert!(
+                    tl.granted(0, k, s, Access::Read),
+                    "class {} read at site {s}",
+                    class.name
+                );
+                assert!(
+                    tl.granted(0, k, s, Access::Write),
+                    "class {} write at site {s}",
+                    class.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grants_degrade_under_failures() {
+        // Long horizon: some epoch must deny some write somewhere
+        // (96 % per-component reliability over 13 sites + 39 links).
+        let (_, c, tl) = quick_timeline(2000.0, 7);
+        let mut denied = 0u64;
+        for e in 0..tl.num_epochs() {
+            for k in 0..c.num_classes() {
+                for s in 0..13 {
+                    if !tl.granted(e, k, s, Access::Write) {
+                        denied += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            denied > 0,
+            "no write ever denied across {} epochs",
+            tl.num_epochs()
+        );
+    }
+
+    #[test]
+    fn rowa_reads_survive_any_up_site() {
+        // Read-one/write-all grants a read at every up site regardless
+        // of partitioning: check it against a long, failure-rich run.
+        let (t, c, tl) = quick_timeline(2000.0, 3);
+        let rowa = 4;
+        assert_eq!(c.class(rowa).name, "rowa");
+        let mut up_site_reads = 0u64;
+        for e in 0..tl.num_epochs() {
+            for s in 0..t.num_sites() {
+                // A denied rowa read means the site was down (mask 0).
+                if tl.granted(e, rowa, s, Access::Read) {
+                    up_site_reads += 1;
+                    assert!(
+                        !tl.granted(e, rowa, s, Access::Write)
+                            || (0..t.num_sites()).all(|x| tl.granted(e, rowa, x, Access::Read)),
+                        "rowa write granted while some site is unreachable"
+                    );
+                }
+            }
+        }
+        assert!(up_site_reads > 0);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (_, _, a) = quick_timeline(500.0, 21);
+        let (_, _, b) = quick_timeline(500.0, 21);
+        assert_eq!(a.epoch_ends().len(), b.epoch_ends().len());
+        assert!(a
+            .epoch_ends()
+            .iter()
+            .zip(b.epoch_ends())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.grants, b.grants);
+        assert_eq!(a.site_transitions(), b.site_transitions());
+        assert_eq!(a.link_transitions(), b.link_transitions());
+    }
+
+    #[test]
+    fn observe_publishes_epochs_and_transitions() {
+        let (_, _, tl) = quick_timeline(400.0, 11);
+        let reg = quorum_obs::Registry::new();
+        tl.observe_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(quorum_obs::keys::SHARD_EPOCHS),
+            tl.num_epochs() as u64
+        );
+        assert_eq!(
+            snap.counter(quorum_obs::keys::DES_SITE_TRANSITIONS),
+            tl.site_transitions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let t = Topology::ring(4);
+        let c = ObjectCatalog::paper_mix(4, 1);
+        FailureTimeline::build(&t, &c, &SimParams::quick(), 0.0, 1);
+    }
+}

@@ -15,6 +15,7 @@ use quorum_des::SimParams;
 use quorum_graph::Topology;
 use quorum_obs::{Registry, RunManifest};
 use quorum_replica::{run_static_observed, RunConfig, Workload};
+use quorum_shard::{FailureTimeline, ObjectCatalog, ShardEngine};
 
 fn tiny_params() -> SimParams {
     SimParams {
@@ -111,6 +112,50 @@ fn cluster_manifest_is_byte_identical_across_runs_and_threads() {
     assert_eq!(a, b, "same seed, same threads: manifests must match");
     let c = cluster_manifest(33, 1);
     assert_eq!(a, c, "thread count must not change any reported number");
+}
+
+/// Aggregate manifest of a sharded throughput run, built exactly like
+/// `shard_throughput --manifest` builds its counters/gauges: engine +
+/// timeline counters, plus the thread/utilization gauges that
+/// [`strip_wall_clock`] removes. The shard count is deliberately *not*
+/// in the manifest: it's a partition knob, not a result.
+fn shard_manifest(seed: u64, shards: u64, threads: usize) -> String {
+    let topo = Topology::ring_with_chords(13, 3);
+    let params = tiny_params();
+    let catalog = ObjectCatalog::paper_mix(13, 300);
+    let timeline = FailureTimeline::build(&topo, &catalog, &params, 50.0, seed);
+    let engine = ShardEngine::new(&topo, &catalog, &timeline, 50.0, seed);
+    let (stats, conv) = engine.run_sharded(shards, threads);
+    let registry = Registry::new();
+    stats.observe_into(&registry);
+    timeline.observe_into(&registry);
+    registry.set_gauge("shard.threads", threads as f64);
+    registry.set_gauge("shard.thread_utilization", conv.utilization());
+    let mut m = RunManifest::new("manifest_stability_shard", seed);
+    m.params = sim_params_record(&params);
+    m.topology = topology_record("ring-13+3", 3, &topo);
+    m.batches = stats.objects; // partition-invariant stand-in (conv.batches == shards)
+    m.set_metric("availability", stats.availability());
+    m.absorb_snapshot(&registry.snapshot());
+    strip_wall_clock(&mut m);
+    m.to_json().to_string_pretty()
+}
+
+#[test]
+fn shard_manifest_is_byte_identical_across_threads() {
+    let a = shard_manifest(17, 8, 1);
+    let b = shard_manifest(17, 8, 4);
+    assert_eq!(a, b, "thread count must not change any reported number");
+}
+
+#[test]
+fn shard_manifest_is_byte_identical_across_shard_partitions() {
+    let a = shard_manifest(17, 8, 2);
+    let b = shard_manifest(17, 64, 2);
+    assert_eq!(
+        a, b,
+        "shard partitioning must not change any reported number"
+    );
 }
 
 #[test]
