@@ -1,0 +1,40 @@
+//! General quorum-system algebra — ROADMAP item "beyond voting".
+//!
+//! The paper optimizes *vote assignments*, but weighted voting captures
+//! a strict subset of quorum systems (Garcia-Molina & Barbara \[8\]).
+//! This crate supplies the missing generality as a quoracle-style
+//! expression algebra:
+//!
+//! * [`Expr`] — monotone formulas `Node`/`And`/`Or`/`Choose(k, ...)`
+//!   over site ids, with [`Expr::dual`], exact
+//!   [`Expr::weighted_threshold`] conversion from vote vectors, and
+//!   minimal-quorum enumeration (structural, powerset reference, and a
+//!   capped heuristic for scale);
+//! * [`QuorumSystem`] — named read/write families with an explicit
+//!   [`IntersectionCertificate`] (checked safety, not assumed), exact
+//!   crash [`QuorumSystem::resilience`], and constructors for majority,
+//!   grid, hierarchical, and vote-derived systems;
+//! * [`strategy`] — LP-free load optimization over quorum
+//!   distributions with certified upper *and* lower bounds, the exact
+//!   closed form for uniform-vote thresholds, and an f-resilience
+//!   constraint gate;
+//! * [`AlgebraProtocol`] / [`view_availability`] — adapters running
+//!   any certified system through the replica simulator's component
+//!   machinery, so vote-optimal and structurally-optimal systems race
+//!   on the paper's topologies under identical failure processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod protocol;
+pub mod strategy;
+pub mod system;
+
+pub use expr::Expr;
+pub use protocol::{view_availability, AlgebraProtocol};
+pub use strategy::{
+    heuristic_load, mixed_load, optimize_load, optimize_load_resilient, uniform_threshold_load,
+    LoadProfile, ResilienceShortfall, Strategy,
+};
+pub use system::{CertFailure, IntersectionCertificate, QuorumSystem};

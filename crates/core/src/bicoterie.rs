@@ -156,27 +156,10 @@ impl ReadWriteCoterie {
         let n = votes.num_sites();
         assert!(n <= MAX_SITES, "enumeration capped at {MAX_SITES} sites");
         assert_eq!(votes.total(), spec.total(), "vote/spec total mismatch");
-        let minimal_reaching = |quorum: u64| -> Vec<Vec<usize>> {
-            let mut reaching: Vec<u32> = Vec::new();
-            for mask in 1u32..(1 << n) {
-                let sum: u64 = (0..n)
-                    .filter(|&s| mask >> s & 1 == 1)
-                    .map(|s| votes.votes_of(s))
-                    .sum();
-                if sum >= quorum {
-                    reaching.push(mask);
-                }
-            }
-            reaching
-                .iter()
-                .filter(|&&m| !reaching.iter().any(|&o| o != m && o & m == o))
-                .map(|&m| mask_to_vec(m))
-                .collect()
-        };
         Self::new(
             n,
-            &minimal_reaching(spec.q_r()),
-            &minimal_reaching(spec.q_w()),
+            &votes.minimal_reaching(spec.q_r()),
+            &votes.minimal_reaching(spec.q_w()),
         )
         .expect("vote-derived bicoterie is valid by conditions 1-2")
     }

@@ -136,24 +136,7 @@ impl Coterie {
             2 * quorum > votes.total(),
             "need 2·quorum > T for pairwise intersection"
         );
-        let mut reaching: Vec<u32> = Vec::new();
-        for mask in 1u32..(1 << n) {
-            let sum: u64 = (0..n)
-                .filter(|&s| mask >> s & 1 == 1)
-                .map(|s| votes.votes_of(s))
-                .sum();
-            if sum >= quorum {
-                reaching.push(mask);
-            }
-        }
-        // Keep minimal masks only.
-        let mut minimal: Vec<u32> = Vec::new();
-        for &m in &reaching {
-            if !reaching.iter().any(|&o| o != m && o & m == o) {
-                minimal.push(m);
-            }
-        }
-        let groups: Vec<Vec<usize>> = minimal.iter().map(|&m| mask_to_vec(m)).collect();
+        let groups = votes.minimal_reaching(quorum);
         Self::new(n, &groups).expect("vote-derived coterie is valid")
     }
 

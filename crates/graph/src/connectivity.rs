@@ -172,6 +172,21 @@ impl ComponentView {
         self.members[id as usize].iter_ones()
     }
 
+    /// Members of `site`'s component as a single `u64` site mask
+    /// (bit `i` set ⇔ site `i` in the component); `0` when `site` is
+    /// down. This is the constant-time handoff to the quorum-algebra
+    /// layer, whose general-coterie grant checks are mask containment.
+    ///
+    /// # Panics
+    /// Panics if the universe exceeds 64 sites.
+    #[inline]
+    pub fn member_mask(&self, site: usize) -> u64 {
+        match self.comp_id[site] {
+            Self::DOWN => 0,
+            id => self.members[id as usize].as_u64_mask(),
+        }
+    }
+
     /// Iterates over the up sites in the same component as `site`
     /// (including `site` itself); empty if `site` is down. O(words) via
     /// the per-component member index.

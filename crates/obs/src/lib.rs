@@ -109,4 +109,15 @@ pub mod keys {
     pub const CLUSTER_READS_SUBMITTED: &str = "cluster.reads_submitted";
     /// Measured write sessions submitted (excludes warm-up).
     pub const CLUSTER_WRITES_SUBMITTED: &str = "cluster.writes_submitted";
+    /// Quorum systems evaluated by the algebra comparison harness.
+    pub const ALGEBRA_SYSTEMS_EVALUATED: &str = "algebra.systems_evaluated";
+    /// Intersection certifications performed (one per evaluated system).
+    pub const ALGEBRA_INTERSECTION_CHECKS: &str = "algebra.intersection_checks";
+    /// Certifications that found a violated intersection (must stay 0
+    /// for every *reported* system — the CI smoke gate asserts it).
+    pub const ALGEBRA_INTERSECTION_FAILURES: &str = "algebra.intersection_failures";
+    /// Minimal quorums enumerated across all evaluated systems.
+    pub const ALGEBRA_QUORUMS_ENUMERATED: &str = "algebra.quorums_enumerated";
+    /// Multiplicative-weights iterations spent optimizing strategies.
+    pub const ALGEBRA_STRATEGY_ITERATIONS: &str = "algebra.strategy_iterations";
 }

@@ -43,7 +43,7 @@ pub use curves::CurveSet;
 pub use failure::FailureProcesses;
 pub use object::SerializabilityChecker;
 pub use results::{BatchStats, RunResults};
-pub use runner::{run_static, run_static_observed, RunConfig};
+pub use runner::{run_protocol_observed, run_static, run_static_observed, RunConfig};
 pub use scenario::PaperScenario;
 pub use simulation::Simulation;
 pub use workload::Workload;

@@ -12,6 +12,7 @@
 use crate::results::{BatchStats, RunResults};
 use crate::simulation::{NullObserver, Simulation};
 use crate::workload::Workload;
+use quorum_core::protocol::ConsistencyProtocol;
 use quorum_core::{QuorumConsensus, QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
@@ -70,7 +71,40 @@ pub fn run_static_observed(
     cfg: RunConfig,
     registry: &Registry,
 ) -> RunResults {
-    let _run_timer = registry.scoped_timer("replica.run_static");
+    let proto_votes = votes.clone();
+    run_protocol_observed(
+        topology,
+        votes,
+        workload,
+        cfg,
+        registry,
+        "replica.run_static",
+        move || QuorumConsensus::new(proto_votes.clone(), spec),
+    )
+}
+
+/// Runs an arbitrary [`ConsistencyProtocol`] until the CI converges —
+/// the batch/round/CI machinery of [`run_static_observed`] with the
+/// protocol abstracted out, so general quorum systems (coteries,
+/// expression-algebra systems) ride the same `ComponentView` grant
+/// path, seed derivation, and thread-invariant merging as vote
+/// thresholds. `make_protocol` builds one fresh protocol per batch
+/// (batches are independent by construction); `phase` names the
+/// whole-run wall-clock timer in `registry`.
+pub fn run_protocol_observed<P, F>(
+    topology: &Topology,
+    votes: VoteAssignment,
+    workload: Workload,
+    cfg: RunConfig,
+    registry: &Registry,
+    phase: &str,
+    make_protocol: F,
+) -> RunResults
+where
+    P: ConsistencyProtocol,
+    F: Fn() -> P + Sync,
+{
+    let _run_timer = registry.scoped_timer(phase);
     cfg.params.validate();
     let n = topology.num_sites();
     let total = votes.total() as usize;
@@ -93,7 +127,7 @@ pub fn run_static_observed(
                 workload.clone(),
                 cfg.seed,
             );
-            let mut proto = QuorumConsensus::new(votes.clone(), spec);
+            let mut proto = make_protocol();
             sim.run_indexed_batch(&mut proto, &mut NullObserver, index)
         },
         BatchStats::availability,

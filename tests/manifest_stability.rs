@@ -8,13 +8,14 @@
 
 #![forbid(unsafe_code)]
 
+use quorum_algebra::{optimize_load, AlgebraProtocol, QuorumSystem};
 use quorum_bench::manifest::{manifest_for_run, sim_params_record, topology_record};
 use quorum_cluster::{run_cluster_observed, ClusterConfig, RunOptions};
 use quorum_core::{QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
 use quorum_obs::{Registry, RunManifest};
-use quorum_replica::{run_static_observed, RunConfig, Workload};
+use quorum_replica::{run_protocol_observed, run_static_observed, RunConfig, Workload};
 use quorum_shard::{FailureTimeline, ObjectCatalog, ShardEngine};
 
 fn tiny_params() -> SimParams {
@@ -139,6 +140,55 @@ fn shard_manifest(seed: u64, shards: u64, threads: usize) -> String {
     m.absorb_snapshot(&registry.snapshot());
     strip_wall_clock(&mut m);
     m.to_json().to_string_pretty()
+}
+
+/// Manifest of an algebra comparison run, built the way
+/// `compare_systems` builds its per-system records: certification,
+/// multiplicative-weights load optimization, and a partition-model
+/// simulation driven through the general `AlgebraProtocol` plug-in.
+/// Every one of those stages must be a pure function of (system,
+/// topology, params, seed) for the committed comparison manifest to be
+/// reproducible.
+fn algebra_manifest(seed: u64, threads: usize) -> String {
+    let topo = Topology::ring_with_chords(9, 2);
+    let votes = VoteAssignment::uniform(9);
+    let params = tiny_params();
+    let registry = Registry::new();
+    let sys = QuorumSystem::grid(3, 3, 0);
+    assert!(sys.certify().ok(), "grid must certify");
+    let profile = optimize_load(&sys, 0.5, 500);
+    let res = run_protocol_observed(
+        &topo,
+        votes.clone(),
+        Workload::uniform(9, 0.5),
+        RunConfig {
+            params,
+            seed,
+            threads,
+        },
+        &registry,
+        "algebra.simulate",
+        || AlgebraProtocol::new(sys.clone()),
+    );
+    let mut m = RunManifest::new("manifest_stability_algebra", seed);
+    m.params = sim_params_record(&params);
+    m.topology = topology_record("ring-9+2", 2, &topo);
+    m.votes = votes.as_slice().to_vec();
+    m.set_metric(&format!("load.{}", sys.name()), profile.load);
+    m.set_metric(&format!("load-lower.{}", sys.name()), profile.lower_bound);
+    m.set_metric("availability", res.availability());
+    m.absorb_snapshot(&registry.snapshot());
+    strip_wall_clock(&mut m);
+    m.to_json().to_string_pretty()
+}
+
+#[test]
+fn algebra_manifest_is_byte_identical_across_runs_and_threads() {
+    let a = algebra_manifest(19, 2);
+    let b = algebra_manifest(19, 2);
+    assert_eq!(a, b, "same seed, same threads: manifests must match");
+    let c = algebra_manifest(19, 1);
+    assert_eq!(a, c, "thread count must not change any reported number");
 }
 
 #[test]
