@@ -57,6 +57,14 @@ pub struct ClusterConfig {
     /// tests can demonstrate that the freshness checker catches the
     /// resulting stale reads under message loss.
     pub commit_on_grant: bool,
+    /// UNSAFE ablation: let pledges gathered under one assignment epoch
+    /// keep counting after a retry adopts a different epoch, and accept
+    /// late pledges tagged with a mismatched epoch — the pre-fix
+    /// behavior of `session_timeout`/`vote_received`. Exists so the
+    /// `quorum-mc` model checker can demonstrate that it *finds* the
+    /// cross-epoch mixing bug (negative control, in the style of
+    /// [`ClusterConfig::commit_on_grant`]).
+    pub mix_epoch_votes: bool,
     /// Record the per-access outcome sequence (used by the degeneracy
     /// test to compare against the instantaneous simulator).
     pub record_outcomes: bool,
@@ -90,6 +98,7 @@ impl ClusterConfig {
             max_backoff_factor: 8.0,
             installs: Vec::new(),
             commit_on_grant: false,
+            mix_epoch_votes: false,
             record_outcomes: false,
             latency_bounds: Self::default_latency_bounds(),
             delta_kernel: true,

@@ -21,6 +21,14 @@
 //!    retries; exhausted retries resolve [`Outcome::TimedOut`], a down
 //!    coordinator resolves [`Outcome::Unavailable`].
 //!
+//! The protocol rules themselves live in [`crate::protocol`]: the state
+//! machines are a [`ProtocolCore`] driven through the
+//! [`Scheduler`](crate::protocol::Scheduler) trait. This event loop
+//! supplies the stochastic environment — Bernoulli loss, sampled
+//! latencies, failure processes, the Poisson access stream — while the
+//! `quorum-mc` model checker drives the *same* core through an
+//! exhaustive scheduler.
+//!
 //! Messages cross the topology's connectivity: a message is delivered
 //! iff sender and receiver are up and mutually reachable *at the
 //! delivery instant* (see [`crate::net`]).
@@ -36,11 +44,11 @@
 //! this against [`quorum_replica::Simulation`] on ring, fully-connected,
 //! and bus topologies.
 
-use crate::checker::FreshnessChecker;
 use crate::config::ClusterConfig;
-use crate::message::{Message, Payload, SessionId, Version, NO_SESSION};
+use crate::message::{Message, SessionId};
+use crate::net::NetConfig;
+use crate::protocol::{ProtocolCore, Scheduler, TimerToken};
 use crate::stats::{ClusterStats, Outcome};
-use quorum_core::reassign::SiteAssignment;
 use quorum_core::{Access, QuorumSpec, VoteAssignment};
 use quorum_des::{EventKey, EventQueue, PoissonProcess, SimTime};
 use quorum_graph::{ComponentCache, NetworkState, Topology, TopologyEvent};
@@ -49,52 +57,92 @@ use quorum_replica::Workload;
 use quorum_stats::rng::{derive_seed, rng_from_seed};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::BTreeMap;
 
 /// One scheduled event of the cluster event loop.
+///
+/// Public so alternative drivers (e.g. the demonstration
+/// [`Scheduler`] impl on [`EventQueue<Event>`]) can name the queue's
+/// payload type; the engine itself constructs and consumes these
+/// internally.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub enum Event {
+    /// Site `i` flips up/down (failure renewal process).
     SiteTransition(usize),
+    /// Link `i` flips up/down.
     LinkTransition(usize),
+    /// The next Poisson access arrives.
     Access,
+    /// An in-flight message reaches its destination.
     Deliver(Message),
+    /// The session's retry timer fires.
     SessionTimeout(SessionId),
+    /// Scripted install step `i` executes at its origin.
     Install(usize),
 }
 
-/// Which part of a session is gathering votes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Phase 1: gathering `ReadValue`/`VoteGrant` pledges.
-    Gather,
-    /// Phase 2 (writes only): gathering `CommitAck`s.
-    Commit,
+/// The trivial ideal-network driver: an [`EventQueue`] over [`Event`]
+/// *is* a scheduler — sends become zero-latency, loss-free deliveries
+/// and timers become plain cancellable entries.
+///
+/// The engine itself layers loss and latency on top via [`NetScheduler`];
+/// this impl exists so a [`ProtocolCore`] can be driven directly off a
+/// bare queue (unit tests, examples) with no stochastic machinery at all.
+impl Scheduler for EventQueue<Event> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+
+    fn send(&mut self, msg: Message) -> bool {
+        self.schedule_in(0.0, Event::Deliver(msg));
+        true
+    }
+
+    fn arm_timer(&mut self, id: SessionId, timeout: f64) -> TimerToken {
+        TimerToken::new(
+            self.schedule_cancellable_in(timeout, Event::SessionTimeout(id))
+                .raw(),
+        )
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        self.cancel(EventKey::from_raw(token.raw()))
+    }
 }
 
-/// Coordinator-side state of one in-flight session.
-#[derive(Debug, Clone)]
-struct Session {
-    origin: usize,
-    kind: Access,
-    submitted_at: SimTime,
-    measured_index: Option<u64>,
-    round: u32,
-    phase: Phase,
-    votes: u64,
-    contributed: Vec<bool>,
-    max_version: Version,
-    new_version: Version,
-    floor: Version,
-    spec: QuorumSpec,
-    epoch: u64,
-    timer: EventKey,
+/// The stochastic transport: Bernoulli loss at the sender, sampled
+/// latency otherwise, timers as cancellable queue entries. Borrows the
+/// batch's queue and network RNG for the duration of one protocol step.
+struct NetScheduler<'q> {
+    queue: &'q mut EventQueue<Event>,
+    net: &'q NetConfig,
+    rng: &'q mut StdRng,
 }
 
-/// Durable per-site replica state.
-#[derive(Debug, Clone, Copy)]
-struct SiteState {
-    version: Version,
-    assignment: SiteAssignment,
+impl Scheduler for NetScheduler<'_> {
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn send(&mut self, msg: Message) -> bool {
+        if self.net.loss > 0.0 && self.rng.random::<f64>() < self.net.loss {
+            return false;
+        }
+        let latency = self.net.latency.sample(self.rng);
+        self.queue.schedule_in(latency, Event::Deliver(msg));
+        true
+    }
+
+    fn arm_timer(&mut self, id: SessionId, timeout: f64) -> TimerToken {
+        TimerToken::new(
+            self.queue
+                .schedule_cancellable_in(timeout, Event::SessionTimeout(id))
+                .raw(),
+        )
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        self.queue.cancel(EventKey::from_raw(token.raw()))
+    }
 }
 
 /// The message-level cluster simulation of one topology.
@@ -263,9 +311,9 @@ impl<'a> ClusterEngine<'a> {
             queue.schedule(SimTime::new(step.at), Event::Install(i));
         }
 
-        let mut stats = ClusterStats::new(&self.config.latency_bounds);
+        let mut core = ProtocolCore::new(&self.config, &self.votes, self.initial_spec);
         if self.config.record_outcomes {
-            stats.outcomes = vec![None; self.config.params.batch_accesses as usize];
+            core.stats_mut().outcomes = vec![None; self.config.params.batch_accesses as usize];
         }
 
         let warmup = self.config.params.warmup_accesses;
@@ -289,20 +337,7 @@ impl<'a> ClusterEngine<'a> {
             net_rng,
             access_proc,
             workload: self.workload.clone(),
-            sites: vec![
-                SiteState {
-                    version: 0,
-                    assignment: SiteAssignment {
-                        version: 0,
-                        spec: self.initial_spec,
-                    },
-                };
-                n
-            ],
-            sessions: BTreeMap::new(),
-            next_session: NO_SESSION + 1,
-            checker: FreshnessChecker::new(),
-            stats,
+            core,
             warmup,
             target,
             accesses_seen: 0,
@@ -310,12 +345,12 @@ impl<'a> ClusterEngine<'a> {
             now: SimTime::ZERO,
         };
 
-        while batch.accesses_seen < target || !batch.sessions.is_empty() {
+        while batch.accesses_seen < target || batch.core.open_sessions() > 0 {
             let (t, ev) = batch.queue.pop().expect("regenerative streams never drain");
             batch.now = t;
             match ev {
                 Event::SiteTransition(i) => {
-                    batch.stats.site_transitions += 1;
+                    batch.core.stats_mut().site_transitions += 1;
                     let (up, gap) = batch.procs.site_transition(i, &mut batch.fail_rng);
                     if batch.state.set_site(i, up) {
                         batch.cache.apply_event(
@@ -328,7 +363,7 @@ impl<'a> ClusterEngine<'a> {
                     batch.queue.schedule_in(gap, Event::SiteTransition(i));
                 }
                 Event::LinkTransition(i) => {
-                    batch.stats.link_transitions += 1;
+                    batch.core.stats_mut().link_transitions += 1;
                     let (up, gap) = batch.procs.link_transition(i, &mut batch.fail_rng);
                     if batch.state.set_link(i, up) {
                         batch.cache.apply_event(
@@ -348,14 +383,15 @@ impl<'a> ClusterEngine<'a> {
         }
 
         let delta = batch.cache.delta_counters();
-        let mut stats = batch.stats;
+        let violations = batch.core.checker().violations();
+        let mut stats = batch.core.take_stats();
         stats.delta_merges = delta.merges;
         stats.delta_rescans = delta.rescans;
         stats.delta_noops = delta.noops;
         stats.full_recomputes = delta.full_recomputes;
         stats.events_processed = batch.queue.popped();
         stats.timers_cancelled = batch.queue.cancelled();
-        stats.freshness_violations = batch.checker.violations();
+        stats.freshness_violations = violations;
         if let Some(start) = batch.measured_start {
             stats.measured_duration = batch.now - start;
         }
@@ -363,7 +399,9 @@ impl<'a> ClusterEngine<'a> {
     }
 }
 
-/// All mutable state of one running batch.
+/// All mutable state of one running batch: the stochastic environment
+/// (failure processes, access stream, transport RNG) wrapped around the
+/// scheduler-agnostic [`ProtocolCore`].
 struct Batch<'a> {
     topology: &'a Topology,
     votes: &'a VoteAssignment,
@@ -378,14 +416,7 @@ struct Batch<'a> {
     net_rng: StdRng,
     access_proc: PoissonProcess,
     workload: Workload,
-    sites: Vec<SiteState>,
-    // Ordered by session id (quorum-lint `no-unordered-iteration`):
-    // all access today is keyed, but any future drain/sweep over open
-    // sessions feeds stats and must see a deterministic order.
-    sessions: BTreeMap<SessionId, Session>,
-    next_session: SessionId,
-    checker: FreshnessChecker,
-    stats: ClusterStats,
+    core: ProtocolCore<'a>,
     warmup: u64,
     target: u64,
     accesses_seen: u64,
@@ -394,37 +425,9 @@ struct Batch<'a> {
 }
 
 impl Batch<'_> {
-    /// Sends a message: Bernoulli loss at the sender, latency-delayed
-    /// delivery otherwise.
-    fn send(&mut self, from: usize, to: usize, session: SessionId, payload: Payload) {
-        self.stats.messages_sent += 1;
-        if self.config.net.loss > 0.0 && self.net_rng.random::<f64>() < self.config.net.loss {
-            self.stats.messages_dropped += 1;
-            return;
-        }
-        let latency = self.config.net.latency.sample(&mut self.net_rng);
-        self.queue.schedule_in(
-            latency,
-            Event::Deliver(Message {
-                from,
-                to,
-                session,
-                payload,
-            }),
-        );
-    }
-
-    fn record_outcome(&mut self, index: Option<u64>, kind: Access, outcome: Outcome) {
-        if self.config.record_outcomes {
-            if let Some(i) = index {
-                self.stats.outcomes[i as usize] = Some((kind, outcome));
-            }
-        }
-    }
-
-    /// Handles an access arrival: sample the workload, open a session
-    /// (or resolve `Unavailable` if the origin is down), broadcast the
-    /// vote requests, and arm the session timer.
+    /// Handles an access arrival: sample the workload and either resolve
+    /// `Unavailable` (origin down — no session opened) or hand the
+    /// access to the protocol core.
     fn dispatch_access(&mut self) {
         self.accesses_seen += 1;
         if self.accesses_seen < self.target {
@@ -439,67 +442,31 @@ impl Batch<'_> {
                 self.measured_start = Some(self.now);
             }
             match kind {
-                Access::Read => self.stats.reads_submitted += 1,
-                Access::Write => self.stats.writes_submitted += 1,
+                Access::Read => self.core.stats_mut().reads_submitted += 1,
+                Access::Write => self.core.stats_mut().writes_submitted += 1,
             }
         }
         if !self.state.site_up(origin) {
             if measured {
                 match kind {
-                    Access::Read => self.stats.reads_unavailable += 1,
-                    Access::Write => self.stats.writes_unavailable += 1,
+                    Access::Read => self.core.stats_mut().reads_unavailable += 1,
+                    Access::Write => self.core.stats_mut().writes_unavailable += 1,
                 }
             }
-            self.record_outcome(measured_index, kind, Outcome::Unavailable);
+            if self.config.record_outcomes {
+                if let Some(i) = measured_index {
+                    self.core.stats_mut().outcomes[i as usize] = Some((kind, Outcome::Unavailable));
+                }
+            }
             return;
         }
-
-        let id = self.next_session;
-        self.next_session += 1;
-        self.stats.sessions_opened += 1;
-        let assignment = self.sites[origin].assignment;
-        let own = self.votes.votes_of(origin);
-        let n = self.topology.num_sites();
-        let mut contributed = vec![false; n];
-        contributed[origin] = true;
-        let timer = self
-            .queue
-            .schedule_cancellable_in(self.config.timeout_for(0), Event::SessionTimeout(id));
-        self.sessions.insert(
-            id,
-            Session {
-                origin,
-                kind,
-                submitted_at: self.now,
-                measured_index,
-                round: 0,
-                phase: Phase::Gather,
-                votes: own,
-                contributed,
-                max_version: self.sites[origin].version,
-                new_version: 0,
-                floor: self.checker.floor(),
-                spec: assignment.spec,
-                epoch: assignment.version,
-                timer,
-            },
-        );
-        for peer in (0..n).filter(|&p| p != origin) {
-            self.send(
-                origin,
-                peer,
-                id,
-                Payload::VoteRequest {
-                    kind,
-                    epoch: assignment.version,
-                    epoch_spec: assignment.spec,
-                },
-            );
-        }
-        // Single-site quorum (e.g. ROWA reads, weighted coordinators).
-        if own >= assignment.spec.threshold(kind) {
-            self.quorum_reached(id);
-        }
+        let mut sched = NetScheduler {
+            queue: &mut self.queue,
+            net: &self.config.net,
+            rng: &mut self.net_rng,
+        };
+        self.core
+            .open_session(origin, kind, measured_index, &mut sched);
     }
 
     /// Processes a delivery: drop if the endpoints are not mutually
@@ -512,207 +479,31 @@ impl Batch<'_> {
             view.connected(msg.from, msg.to)
         };
         if !connected {
-            self.stats.messages_dropped += 1;
+            self.core.stats_mut().messages_dropped += 1;
             return;
         }
-        self.stats.messages_delivered += 1;
-        let site = msg.to;
-        match msg.payload {
-            Payload::VoteRequest {
-                kind,
-                epoch,
-                epoch_spec,
-            } => {
-                let known = self.sites[site].assignment.version;
-                if epoch > known {
-                    // Piggybacked propagation: lagging sites catch up
-                    // from ordinary traffic.
-                    self.sites[site].assignment = SiteAssignment {
-                        version: epoch,
-                        spec: epoch_spec,
-                    };
-                    self.stats.installs_applied += 1;
-                } else if known > epoch {
-                    let a = self.sites[site].assignment;
-                    self.send(
-                        site,
-                        msg.from,
-                        msg.session,
-                        Payload::VoteDeny {
-                            epoch: a.version,
-                            epoch_spec: a.spec,
-                        },
-                    );
-                    return;
-                }
-                let votes = self.votes.votes_of(site);
-                let version = self.sites[site].version;
-                let reply = match kind {
-                    Access::Read => Payload::ReadValue { votes, version },
-                    Access::Write => Payload::VoteGrant { votes, version },
-                };
-                self.send(site, msg.from, msg.session, reply);
-            }
-            Payload::ReadValue { votes, version } | Payload::VoteGrant { votes, version } => {
-                self.vote_received(msg.session, msg.from, votes, version);
-            }
-            Payload::VoteDeny { epoch, epoch_spec } => {
-                if epoch > self.sites[site].assignment.version {
-                    self.sites[site].assignment = SiteAssignment {
-                        version: epoch,
-                        spec: epoch_spec,
-                    };
-                    self.stats.installs_applied += 1;
-                }
-            }
-            Payload::WriteCommit { version } => {
-                if version > self.sites[site].version {
-                    self.sites[site].version = version;
-                }
-                let votes = self.votes.votes_of(site);
-                self.send(site, msg.from, msg.session, Payload::CommitAck { votes });
-            }
-            Payload::CommitAck { votes } => {
-                self.ack_received(msg.session, msg.from, votes);
-            }
-            Payload::Install { epoch, epoch_spec } => {
-                if epoch > self.sites[site].assignment.version {
-                    self.sites[site].assignment = SiteAssignment {
-                        version: epoch,
-                        spec: epoch_spec,
-                    };
-                    self.stats.installs_applied += 1;
-                }
-            }
-        }
-    }
-
-    /// A phase-1 pledge arrived at the coordinator.
-    fn vote_received(&mut self, id: SessionId, from: usize, votes: u64, version: Version) {
-        let Some(s) = self.sessions.get_mut(&id) else {
-            return; // session already resolved; stale reply
+        self.core.stats_mut().messages_delivered += 1;
+        let mut sched = NetScheduler {
+            queue: &mut self.queue,
+            net: &self.config.net,
+            rng: &mut self.net_rng,
         };
-        if s.phase != Phase::Gather || s.contributed[from] {
-            return;
-        }
-        s.contributed[from] = true;
-        s.votes += votes;
-        s.max_version = s.max_version.max(version);
-        if s.votes >= s.spec.threshold(s.kind) {
-            self.quorum_reached(id);
-        }
+        self.core.handle_message(msg, &mut sched);
     }
 
-    /// A phase-2 ack arrived at the coordinator.
-    fn ack_received(&mut self, id: SessionId, from: usize, votes: u64) {
-        let Some(s) = self.sessions.get_mut(&id) else {
-            return;
-        };
-        if s.phase != Phase::Commit || s.contributed[from] {
-            return;
-        }
-        s.contributed[from] = true;
-        s.votes += votes;
-        if s.votes >= s.spec.q_w() {
-            let s = self.sessions.remove(&id).expect("session present");
-            self.resolve_committed(s);
-        }
-    }
-
-    /// Phase-1 votes reached the threshold: reads commit, writes enter
-    /// (or — under the unsafe ablation — skip) the commit phase.
-    fn quorum_reached(&mut self, id: SessionId) {
-        let kind = self.sessions.get(&id).expect("session present").kind;
-        match kind {
-            Access::Read => {
-                let s = self.sessions.remove(&id).expect("session present");
-                self.resolve_committed(s);
-            }
-            Access::Write if self.config.commit_on_grant => {
-                // UNSAFE ablation: client told "committed" before any
-                // replica durably holds the new version. The freshness
-                // checker exists to catch exactly this.
-                let mut s = self.sessions.remove(&id).expect("session present");
-                s.new_version = s.max_version + 1;
-                let (origin, version) = (s.origin, s.new_version);
-                self.sites[origin].version = self.sites[origin].version.max(version);
-                let n = self.topology.num_sites();
-                for peer in (0..n).filter(|&p| p != origin) {
-                    self.send(origin, peer, id, Payload::WriteCommit { version });
-                }
-                self.resolve_committed(s);
-            }
-            Access::Write => {
-                let (origin, version, own, q_w) = {
-                    let s = self.sessions.get_mut(&id).expect("session present");
-                    s.new_version = s.max_version + 1;
-                    s.phase = Phase::Commit;
-                    let origin = s.origin;
-                    let own = self.votes.votes_of(origin);
-                    s.votes = own;
-                    s.contributed.fill(false);
-                    s.contributed[origin] = true;
-                    (origin, s.new_version, own, s.spec.q_w())
-                };
-                // The coordinator is a replica too: it adopts first.
-                self.sites[origin].version = self.sites[origin].version.max(version);
-                let n = self.topology.num_sites();
-                for peer in (0..n).filter(|&p| p != origin) {
-                    self.send(origin, peer, id, Payload::WriteCommit { version });
-                }
-                if own >= q_w {
-                    let s = self.sessions.remove(&id).expect("session present");
-                    self.resolve_committed(s);
-                }
-            }
-        }
-    }
-
-    /// Session timer fired: retry (with backoff and a refreshed
-    /// assignment) or resolve `TimedOut`.
+    /// Session timer fired: the core retries or resolves `TimedOut`,
+    /// given the coordinator's liveness at this instant.
     fn session_timeout(&mut self, id: SessionId) {
-        let Some(s) = self.sessions.get_mut(&id) else {
+        let Some(origin) = self.core.session_origin(id) else {
             return; // cancelled timers never fire; defensive only
         };
-        let origin = s.origin;
-        if s.round >= self.config.max_retries || !self.state.site_up(origin) {
-            let s = self.sessions.remove(&id).expect("session present");
-            self.resolve_timed_out(s);
-            return;
-        }
-        s.round += 1;
-        // Adopt whatever assignment the coordinator has learned since —
-        // VoteDeny replies carrying newer epochs land here.
-        let assignment = self.sites[origin].assignment;
-        s.epoch = assignment.version;
-        s.spec = assignment.spec;
-        s.timer = self
-            .queue
-            .schedule_cancellable_in(self.config.timeout_for(s.round), Event::SessionTimeout(id));
-        let (phase, kind, epoch, spec, version) = (s.phase, s.kind, s.epoch, s.spec, s.new_version);
-        let pending: Vec<usize> = s
-            .contributed
-            .iter()
-            .enumerate()
-            .filter(|&(p, &c)| !c && p != origin)
-            .map(|(p, _)| p)
-            .collect();
-        self.stats.retries += 1;
-        for peer in pending {
-            match phase {
-                Phase::Gather => self.send(
-                    origin,
-                    peer,
-                    id,
-                    Payload::VoteRequest {
-                        kind,
-                        epoch,
-                        epoch_spec: spec,
-                    },
-                ),
-                Phase::Commit => self.send(origin, peer, id, Payload::WriteCommit { version }),
-            }
-        }
+        let origin_up = self.state.site_up(origin);
+        let mut sched = NetScheduler {
+            queue: &mut self.queue,
+            net: &self.config.net,
+            rng: &mut self.net_rng,
+        };
+        self.core.session_timeout(id, origin_up, &mut sched);
     }
 
     /// Executes a scripted install: the origin (if up) adopts the new
@@ -723,58 +514,13 @@ impl Batch<'_> {
             return; // a down origin skips its install
         }
         let epoch = (idx + 1) as u64;
-        if epoch > self.sites[step.origin].assignment.version {
-            self.sites[step.origin].assignment = SiteAssignment {
-                version: epoch,
-                spec: step.spec,
-            };
-            self.stats.installs_applied += 1;
-        }
-        let n = self.topology.num_sites();
-        for peer in (0..n).filter(|&p| p != step.origin) {
-            self.send(
-                step.origin,
-                peer,
-                NO_SESSION,
-                Payload::Install {
-                    epoch,
-                    epoch_spec: step.spec,
-                },
-            );
-        }
-    }
-
-    fn resolve_committed(&mut self, s: Session) {
-        self.queue.cancel(s.timer);
-        let latency = self.now - s.submitted_at;
-        match s.kind {
-            Access::Read => {
-                self.checker.on_read_committed(s.floor, s.max_version);
-                if s.measured_index.is_some() {
-                    self.stats.reads_committed += 1;
-                    self.stats.read_latency.record(latency);
-                }
-            }
-            Access::Write => {
-                self.checker.on_write_committed(s.new_version);
-                if s.measured_index.is_some() {
-                    self.stats.writes_committed += 1;
-                    self.stats.write_latency.record(latency);
-                }
-            }
-        }
-        self.record_outcome(s.measured_index, s.kind, Outcome::Committed);
-    }
-
-    fn resolve_timed_out(&mut self, s: Session) {
-        self.queue.cancel(s.timer);
-        if s.measured_index.is_some() {
-            match s.kind {
-                Access::Read => self.stats.reads_timed_out += 1,
-                Access::Write => self.stats.writes_timed_out += 1,
-            }
-        }
-        self.record_outcome(s.measured_index, s.kind, Outcome::TimedOut);
+        let mut sched = NetScheduler {
+            queue: &mut self.queue,
+            net: &self.config.net,
+            rng: &mut self.net_rng,
+        };
+        self.core
+            .apply_install(step.origin, epoch, step.spec, &mut sched);
     }
 }
 
@@ -953,6 +699,42 @@ mod tests {
     }
 
     #[test]
+    fn retries_across_installs_reset_cross_epoch_accumulators() {
+        // Lossy network with an install mid-run: some sessions time out
+        // with an old-epoch accumulator, adopt the new assignment on
+        // retry, and must discard their stale pledges. The dedicated
+        // counter proves the path is exercised at stochastic scale (the
+        // unit- and model-level evidence lives in `protocol` and
+        // `quorum-mc`).
+        let topo = Topology::fully_connected(10);
+        let mut cfg = ClusterConfig::new(quick_params());
+        cfg.net = NetConfig {
+            latency: LatencyDist::Constant(0.08),
+            loss: 0.35,
+        };
+        cfg.session_timeout = 0.2;
+        cfg.installs = vec![InstallStep {
+            at: 30.0,
+            origin: 3,
+            spec: QuorumSpec::new(5, 7, 10).unwrap(),
+        }];
+        let mut eng = ClusterEngine::new(
+            &topo,
+            cfg,
+            QuorumSpec::majority(10),
+            Workload::uniform(10, 0.5),
+            21,
+        );
+        let stats = eng.run_batch();
+        assert!(stats.retries > 0);
+        assert!(
+            stats.cross_epoch_resets > 0,
+            "an install under heavy loss must catch sessions mid-retry"
+        );
+        assert_eq!(stats.freshness_violations, 0);
+    }
+
+    #[test]
     fn outcome_sequence_covers_every_measured_access() {
         let topo = Topology::ring(9);
         let mut cfg = ClusterConfig::ideal(quick_params());
@@ -991,5 +773,28 @@ mod tests {
             (a.reads_committed, a.writes_committed),
             (b.reads_committed, b.writes_committed)
         );
+    }
+
+    #[test]
+    fn bare_event_queue_is_an_ideal_scheduler() {
+        // The demonstration impl: drive the protocol core directly off
+        // an EventQueue with no loss/latency machinery.
+        let cfg = ClusterConfig::ideal(SimParams::quick());
+        let votes = VoteAssignment::uniform(3);
+        let mut core = ProtocolCore::new(&cfg, &votes, QuorumSpec::majority(3));
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let id = core.open_session(0, Access::Write, Some(0), &mut queue);
+        // Drain deliveries until the session resolves: request → grant →
+        // commit → ack, all at time zero.
+        while core.session_view(id).is_some() {
+            let (_, ev) = queue.pop().expect("protocol must make progress");
+            match ev {
+                Event::Deliver(msg) => core.handle_message(msg, &mut queue),
+                Event::SessionTimeout(_) => unreachable!("timer was cancelled"),
+                _ => unreachable!("no other events scheduled"),
+            }
+        }
+        assert_eq!(core.stats().writes_committed, 1);
+        assert_eq!(core.checker().violations(), 0);
     }
 }

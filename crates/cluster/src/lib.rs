@@ -37,6 +37,7 @@ pub mod config;
 pub mod engine;
 pub mod message;
 pub mod net;
+pub mod protocol;
 pub mod runner;
 pub mod stats;
 
@@ -45,5 +46,6 @@ pub use config::{jointly_safe, ClusterConfig, InstallStep};
 pub use engine::ClusterEngine;
 pub use message::{Message, Payload, SessionId, Version, NO_SESSION};
 pub use net::{LatencyDist, NetConfig};
+pub use protocol::{ProtocolCore, Scheduler, SessionPhase, SessionView, SiteView, TimerToken};
 pub use runner::{run_cluster, run_cluster_observed, ClusterRunResults, RunOptions};
 pub use stats::{ClusterStats, LatencyHistogram, Outcome};

@@ -53,6 +53,11 @@ pub enum Payload {
         votes: u64,
         /// The responding site's stored version.
         version: Version,
+        /// Assignment epoch the pledge was granted under. The
+        /// coordinator ignores pledges whose epoch differs from its
+        /// session's, so a pre-install pledge cannot count toward a
+        /// quorum gathered under a later assignment.
+        epoch: u64,
     },
     /// A site pledges `votes` to a write (phase 1); the version lets the
     /// coordinator pick `max + 1` for the new value.
@@ -61,6 +66,9 @@ pub enum Payload {
         votes: u64,
         /// The responding site's stored version.
         version: Version,
+        /// Assignment epoch the grant was granted under (see
+        /// [`Payload::ReadValue::epoch`]).
+        epoch: u64,
     },
     /// A site refuses because it holds a *newer* quorum assignment than
     /// the request's epoch; carries that assignment so the coordinator

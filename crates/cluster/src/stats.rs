@@ -123,6 +123,13 @@ pub struct ClusterStats {
     pub sessions_opened: u64,
     /// Scripted or piggybacked assignment adoptions applied at sites.
     pub installs_applied: u64,
+    /// Retry rounds that adopted a different assignment epoch and
+    /// therefore discarded their accumulated pledges (re-seeding the
+    /// coordinator's own votes) — the headline cross-epoch-mixing fix.
+    pub cross_epoch_resets: u64,
+    /// Phase-1 pledges ignored because they were granted under a
+    /// different assignment epoch than the session's.
+    pub stale_grants_ignored: u64,
     /// Committed reads that returned a version older than the newest
     /// write committed before the read started. Must stay 0 under the
     /// safe two-phase protocol.
@@ -173,6 +180,8 @@ impl ClusterStats {
             timers_cancelled: 0,
             sessions_opened: 0,
             installs_applied: 0,
+            cross_epoch_resets: 0,
+            stale_grants_ignored: 0,
             freshness_violations: 0,
             site_transitions: 0,
             link_transitions: 0,
@@ -253,6 +262,8 @@ impl ClusterStats {
         self.timers_cancelled += other.timers_cancelled;
         self.sessions_opened += other.sessions_opened;
         self.installs_applied += other.installs_applied;
+        self.cross_epoch_resets += other.cross_epoch_resets;
+        self.stale_grants_ignored += other.stale_grants_ignored;
         self.freshness_violations += other.freshness_violations;
         self.site_transitions += other.site_transitions;
         self.link_transitions += other.link_transitions;
@@ -286,6 +297,11 @@ impl ClusterStats {
             self.reads_unavailable + self.writes_unavailable,
         );
         registry.add(keys::CLUSTER_TIMERS_CANCELLED, self.timers_cancelled);
+        registry.add(keys::CLUSTER_CROSS_EPOCH_RESETS, self.cross_epoch_resets);
+        registry.add(
+            keys::CLUSTER_STALE_GRANTS_IGNORED,
+            self.stale_grants_ignored,
+        );
         registry.add(keys::DES_EVENTS, self.events_processed);
         registry.add(keys::DES_SITE_TRANSITIONS, self.site_transitions);
         registry.add(keys::DES_LINK_TRANSITIONS, self.link_transitions);

@@ -41,6 +41,23 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey(pub(crate) u64);
 
+impl EventKey {
+    /// The key's raw sequence number. Together with
+    /// [`EventKey::from_raw`] this lets scheduler adapters (e.g. the
+    /// cluster engine's `Scheduler` trait) round-trip keys through their
+    /// own opaque handle types without a side table.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from a value previously obtained via
+    /// [`EventKey::raw`]. Passing a fabricated value is safe: cancelling
+    /// a key that was never issued is a no-op.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
 /// A deterministic future-event list.
 ///
 /// Events pop in non-decreasing time order; simultaneous events pop in

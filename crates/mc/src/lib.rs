@@ -1,0 +1,21 @@
+//! quorum-mc: bounded exhaustive model checking of the cluster protocol.
+//!
+//! This crate drives the engine's real [`quorum_cluster::ProtocolCore`]
+//! — not a re-model of it — through every reachable interleaving of a
+//! small scripted world: message deliveries and drops, session timer
+//! fires, partition toggles, and quorum-reassignment installs. Canonical
+//! state hashing with a site-symmetry quotient and a sound dead-message
+//! reduction keep the search exhaustive within bounds, and the report
+//! says so explicitly (`truncated == 0`, `capped == false`).
+//!
+//! See [`explore`] for the checked invariants and the soundness
+//! arguments, and [`Universe`] for how worlds are scripted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod universe;
+
+pub use explore::{explore, BagScheduler, ExploreOptions, McReport, ViolationKind};
+pub use universe::Universe;

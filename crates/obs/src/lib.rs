@@ -120,4 +120,27 @@ pub mod keys {
     pub const ALGEBRA_QUORUMS_ENUMERATED: &str = "algebra.quorums_enumerated";
     /// Multiplicative-weights iterations spent optimizing strategies.
     pub const ALGEBRA_STRATEGY_ITERATIONS: &str = "algebra.strategy_iterations";
+    /// Retry rounds that adopted a different assignment epoch and reset
+    /// their accumulated pledges (cross-epoch-mixing fix).
+    pub const CLUSTER_CROSS_EPOCH_RESETS: &str = "cluster.cross_epoch_resets";
+    /// Phase-1 pledges ignored for carrying a mismatched epoch tag.
+    pub const CLUSTER_STALE_GRANTS_IGNORED: &str = "cluster.stale_grants_ignored";
+    /// Canonical states the model checker explored.
+    pub const MC_STATES_EXPLORED: &str = "mc.states_explored";
+    /// Transitions (choice executions) the model checker took.
+    pub const MC_TRANSITIONS: &str = "mc.transitions";
+    /// Invariant violations found across the exploration.
+    pub const MC_VIOLATIONS: &str = "mc.violations";
+    /// Frontier states cut off by the depth bound (0 = exhaustive).
+    pub const MC_TRUNCATED: &str = "mc.truncated";
+    /// Explorations aborted by the state-count cap (0 = exhaustive).
+    pub const MC_CAPPED: &str = "mc.capped";
+    /// Enabled transitions skipped by partial-order reduction.
+    pub const MC_POR_SKIPS: &str = "mc.por_skips";
+    /// Deliveries pruned as provable no-ops (equivalent to drops).
+    pub const MC_NOOP_SKIPS: &str = "mc.noop_skips";
+    /// Site permutations in the symmetry group used for canonicalization.
+    pub const MC_SYMMETRY_PERMS: &str = "mc.symmetry_perms";
+    /// Deepest BFS layer reached during exploration.
+    pub const MC_MAX_DEPTH: &str = "mc.max_depth";
 }

@@ -9,11 +9,13 @@
 
 use proptest::prelude::*;
 use quorum_cluster::{
-    jointly_safe, ClusterConfig, ClusterEngine, InstallStep, LatencyDist, NetConfig,
+    jointly_safe, run_cluster_observed, ClusterConfig, ClusterEngine, ClusterStats, InstallStep,
+    LatencyDist, NetConfig, RunOptions,
 };
-use quorum_core::QuorumSpec;
+use quorum_core::{QuorumSpec, VoteAssignment};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
+use quorum_obs::Registry;
 use quorum_replica::Workload;
 
 fn quick_params() -> SimParams {
@@ -67,6 +69,74 @@ proptest! {
         );
         // The run has to exercise the invariant, not vacuously pass.
         prop_assert!(stats.committed() > 0, "nothing committed on {}", topo.name());
+    }
+
+    /// Installs landing *inside* retry windows — the schedule that used
+    /// to mix votes across epochs — keep every committed read fresh,
+    /// and the merged counters are identical whether the batches run on
+    /// one thread or two. The second half pins that the epoch-reset
+    /// bookkeeping (`cross_epoch_resets`, `stale_grants_ignored`) lives
+    /// in the deterministic per-batch world, not in scheduling noise.
+    #[test]
+    fn installs_inside_retries_stay_fresh_and_thread_deterministic(
+        seed in 0u64..500,
+        loss in 0.15f64..0.4,
+        timeout in 0.12f64..0.3,
+    ) {
+        let topo = Topology::fully_connected(9);
+        // Short timeout against this latency forces real retry rounds;
+        // two staggered installs land inside those windows.
+        let mut params = quick_params();
+        params.max_batches = params.min_batches; // fixed batch count
+        let mut cfg = ClusterConfig::new(params);
+        cfg.net = NetConfig {
+            latency: LatencyDist::Exponential { mean: 0.06 },
+            loss,
+        };
+        cfg.session_timeout = timeout;
+        cfg.max_retries = 3;
+        cfg.installs = vec![
+            InstallStep { at: 25.0, origin: 2, spec: QuorumSpec::new(5, 6, 9).unwrap() },
+            InstallStep { at: 55.0, origin: 6, spec: QuorumSpec::majority(9) },
+        ];
+
+        let run = |threads: usize| {
+            run_cluster_observed(
+                &topo,
+                &cfg,
+                QuorumSpec::majority(9),
+                VoteAssignment::uniform(9),
+                Workload::uniform(9, 0.6),
+                RunOptions::threaded(seed, threads),
+                &Registry::new(),
+            )
+        };
+        let one = run(1);
+        let two = run(2);
+
+        prop_assert_eq!(
+            one.combined.freshness_violations, 0,
+            "stale committed read with installs inside retries (seed {})",
+            seed
+        );
+        // The schedule must actually exercise the retry machinery.
+        prop_assert!(one.combined.retries > 0, "no retries at loss {loss:.2}");
+        prop_assert!(one.combined.committed() > 0, "nothing committed");
+
+        let fingerprint = |s: &ClusterStats| (
+            s.reads_submitted, s.writes_submitted,
+            s.reads_committed, s.writes_committed,
+            s.retries, s.cross_epoch_resets, s.stale_grants_ignored,
+            s.messages_sent, s.messages_delivered, s.messages_dropped,
+            s.freshness_violations,
+        );
+        prop_assert_eq!(
+            fingerprint(&one.combined),
+            fingerprint(&two.combined),
+            "thread count changed merged counters (seed {})",
+            seed
+        );
+        prop_assert_eq!(one.batches, two.batches);
     }
 
     /// Negative direction: committing writes on the grant round (before
