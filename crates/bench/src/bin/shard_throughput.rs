@@ -18,14 +18,25 @@
 //! `--threads`; wall-clock metrics and the `shard.threads` /
 //! `shard.thread_utilization` gauges are the only run-shaped values.
 //!
+//! With `--per-object` the catalog is expanded to per-object quorum
+//! assignments: objects of each class spread over `--alpha-buckets`
+//! read-ratio buckets (± `--alpha-spread` around the class α) and the
+//! optimizer picks each uniform-vote bucket's `q_r` against the
+//! topology's analytic component density (full-connected exactly;
+//! chorded rings use the plain ring density as the documented proxy —
+//! chords only tighten connectivity, and the engine measures throughput,
+//! not the proxy's fidelity).
+//!
 //! Usage: cargo run -p quorum-bench --release --bin shard_throughput
 //!        [-- --objects 1000000 --shards 64 --threads 2 --horizon 2.0
 //!            --seed 11 --chords 256 (default: full-101) --skip-naive
+//!            --per-object --alpha-buckets 4 --alpha-spread 0.2
 //!            --manifest results/BENCH_PR.json]
 
 #![forbid(unsafe_code)]
 
 use quorum_bench::{manifest, print_table, Args};
+use quorum_core::analytic::{fully_connected_density, ring_density};
 use quorum_des::SimParams;
 use quorum_graph::Topology;
 use quorum_obs::{keys, Registry, RunManifest};
@@ -39,6 +50,7 @@ fn main() {
     let shards: u64 = args.get_or("shards", 64);
     let threads: usize = args.get_or("threads", quorum_bench::default_threads());
     let horizon: f64 = args.get_or("horizon", 2.0);
+    let per_object = args.flag("per-object");
     let (label, topology) = match args.get::<usize>("chords") {
         Some(k) => (format!("ring-101-c{k}"), Topology::ring_with_chords(101, k)),
         None => ("full-101".to_string(), Topology::fully_connected(101)),
@@ -47,11 +59,30 @@ fn main() {
 
     println!(
         "# Shard throughput | {label} objects={objects} shards={shards} threads={threads} \
-         horizon={horizon} seed={seed}"
+         horizon={horizon} seed={seed} per_object={per_object}"
     );
 
     let registry = Registry::new();
-    let catalog = ObjectCatalog::paper_mix(topology.num_sites(), objects);
+    let mut catalog = ObjectCatalog::paper_mix(topology.num_sites(), objects);
+    if per_object {
+        let n = topology.num_sites();
+        let r = params.reliability;
+        let density = match args.get::<usize>("chords") {
+            Some(_) => ring_density(n, r, r),
+            None => fully_connected_density(n, r, r),
+        };
+        let buckets: usize = args.get_or("alpha-buckets", 4);
+        let spread: f64 = args.get_or("alpha-spread", 0.2);
+        catalog = catalog.with_optimized_assignments(&density, buckets, spread);
+        registry.add(keys::OPTIMIZER_EVALUATIONS, catalog.optimizer_evaluations());
+        println!(
+            "# per-object assignments: {} profiles over {} classes x {buckets} alpha-buckets \
+             ({} optimizer evaluations)",
+            catalog.num_assignments(),
+            catalog.num_classes(),
+            catalog.optimizer_evaluations()
+        );
+    }
     let timeline = {
         let _t = registry.scoped_timer("phase.timeline_build");
         FailureTimeline::build(&topology, &catalog, &params, horizon, seed)

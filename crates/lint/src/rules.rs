@@ -1,4 +1,4 @@
-//! The rule catalog: five determinism/safety properties every reported
+//! The rule catalog: six determinism/safety properties every reported
 //! number in this reproduction rests on (DESIGN.md §9).
 //!
 //! Each rule is a token-sequence property checked per file. Rules are
@@ -12,12 +12,13 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 6] = [
     "no-wall-clock",
     "no-unseeded-rng",
     "no-unordered-iteration",
     "forbid-unsafe",
     "no-float-eq",
+    "no-stdrng",
 ];
 
 /// One reported violation.
@@ -74,12 +75,13 @@ impl SourceFile {
 
 /// Runs every rule over one file under `config`, appending findings.
 pub fn check_file(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-    let checks: [(&'static str, RuleFn); 5] = [
+    let checks: [(&'static str, RuleFn); 6] = [
         ("no-wall-clock", no_wall_clock),
         ("no-unseeded-rng", no_unseeded_rng),
         ("no-unordered-iteration", no_unordered_iteration),
         ("forbid-unsafe", forbid_unsafe),
         ("no-float-eq", no_float_eq),
+        ("no-stdrng", no_stdrng),
     ];
     for (rule, f) in checks {
         let rc = config.rule(rule);
@@ -457,6 +459,40 @@ fn no_float_eq(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut
     }
 }
 
+/// `no-stdrng`: `StdRng` (or `rng_from_seed`, which constructs one) in
+/// a path scoped as an access hot path.
+///
+/// `StdRng` is ChaCha12 — sequentially stateful and ~an order of
+/// magnitude more ARX work per draw than the counter-based SplitMix64
+/// stream the shard walk kernels batch over. In scoped paths (the
+/// shard crate via `lint.toml`), per-draw randomness must come from
+/// `quorum_stats::rng::CounterRng`, whose draws are pure functions of
+/// `(seed, counter)` — that positionality is what keeps the batched
+/// SoA kernel and the naive heap engine bit-identical. Once-per-run
+/// setup code (the failure-timeline replay) carries `file:line`
+/// allowlist entries instead of weakening the rule.
+fn no_stdrng(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+    for (i, t) in file.toks.iter().enumerate() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        if t.is_ident("StdRng") || t.is_ident("rng_from_seed") {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`{}` brings sequential ChaCha12 state into a hot path; draw from \
+                     quorum_stats::rng::CounterRng so batched and one-at-a-time walks \
+                     stay bit-identical",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 /// Identifiers annotated `: f64` / `: f32` anywhere in the file.
 fn float_annotated_names(toks: &[Tok]) -> BTreeSet<&str> {
     let mut names = BTreeSet::new();
@@ -638,6 +674,34 @@ roots = ["crates/*/src/lib.rs"]
         let src = "fn close(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 }";
         let f = run_rule("crates/x/src/a.rs", src, &default_config());
         assert!(f.iter().all(|f| f.rule != "no-float-eq"));
+    }
+
+    #[test]
+    fn stdrng_is_flagged_in_scoped_paths_tests_exempt() {
+        let mut cfg = default_config();
+        cfg.rules.entry("no-stdrng".into()).or_default().paths = vec!["crates/shard".into()];
+        let src = r#"
+            use quorum_stats::rng::rng_from_seed;
+            fn walk() { let rng = rng_from_seed(7); }
+            #[cfg(test)]
+            mod tests {
+                fn reference() -> rand::rngs::StdRng { super::make() }
+            }
+        "#;
+        let f = run_rule("crates/shard/src/engine.rs", src, &cfg);
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "no-stdrng")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            lines,
+            vec![2, 3],
+            "import and call flagged, test module exempt"
+        );
+        // Outside the scoped paths the same source is clean.
+        let f = run_rule("crates/replica/src/a.rs", src, &cfg);
+        assert!(f.iter().all(|f| f.rule != "no-stdrng"));
     }
 
     #[test]

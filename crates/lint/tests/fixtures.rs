@@ -14,6 +14,7 @@ const UNSEEDED_RNG: &str = include_str!("fixtures/unseeded_rng.rs");
 const UNORDERED: &str = include_str!("fixtures/unordered_iteration.rs");
 const MISSING_FORBID: &str = include_str!("fixtures/missing_forbid.rs");
 const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+const STDRNG_HOT: &str = include_str!("fixtures/stdrng_hot_path.rs");
 
 fn config(toml: &str) -> Config {
     Config::parse(toml).expect("fixture config parses")
@@ -116,6 +117,24 @@ fn float_eq_fixture_is_flagged_inside_scoped_paths_only() {
     );
     // Outside the scoped numeric core the same comparisons pass.
     let out = run_sources(&[("crates/graph/src/avail.rs", FLOAT_EQ)], &cfg);
+    assert_eq!(out.findings, vec![]);
+}
+
+#[test]
+fn stdrng_fixture_is_flagged_inside_scoped_paths_tests_exempt() {
+    let cfg = config("[rules.no-stdrng]\npaths = [\"crates/shard\"]\n");
+    let out = run_sources(&[("crates/shard/src/walk.rs", STDRNG_HOT)], &cfg);
+    assert_eq!(
+        found(&out),
+        vec![("no-stdrng", 3), ("no-stdrng", 6), ("no-stdrng", 10)],
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(out.exit_code(), 1);
+    // Outside the scoped hot paths — every other crate, and anything
+    // allowlisted like the once-per-run timeline replay — StdRng stays
+    // the default seeded generator.
+    let out = run_sources(&[("crates/replica/src/walk.rs", STDRNG_HOT)], &cfg);
     assert_eq!(out.findings, vec![]);
 }
 

@@ -1,0 +1,20 @@
+//! Fixture: sequential `StdRng` leaking into a scoped access hot path.
+
+use quorum_stats::rng::rng_from_seed;
+
+pub fn walk(seed: u64) -> u64 {
+    let mut rng = rng_from_seed(seed);
+    step(&mut rng)
+}
+
+fn step(rng: &mut rand::rngs::StdRng) -> u64 {
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_engine_may_use_it() {
+        let _rng: rand::rngs::StdRng = super::build();
+    }
+}

@@ -58,6 +58,8 @@ pub mod keys {
     pub const SHARD_ACCESSES: &str = "shard.accesses";
     /// Connectivity epochs in the shared failure timeline.
     pub const SHARD_EPOCHS: &str = "shard.epochs";
+    /// Assignment profiles (grant rows per epoch) in the timeline.
+    pub const SHARD_ASSIGNMENTS: &str = "shard.assignments";
     /// Reads granted across all objects.
     pub const SHARD_READS_GRANTED: &str = "shard.reads_granted";
     /// Writes granted across all objects.

@@ -7,16 +7,33 @@
 //! of the object id (fixed salts, independent of the run seed), so the
 //! same object keeps the same quorum configuration across seeds and the
 //! workload composition is stable for baseline comparisons.
+//!
+//! On top of the classes sits the **assignment table**: every object
+//! resolves (again by pure hash) to an [`AssignmentProfile`] — the
+//! (vote table, quorum spec) pair the timeline grants against. In the
+//! plain [`ObjectCatalog::paper_mix`] the table is one profile per
+//! class; [`ObjectCatalog::with_optimized_assignments`] expands it to
+//! **per-object** assignments: objects of one class spread over a set
+//! of read-ratio buckets, and the paper's optimizer
+//! ([`quorum_core::optimal`]) picks each bucket's `q_r` for that
+//! bucket's α. The engine then simulates a population where no two
+//! objects need share a quorum spec — the regime the paper's
+//! optimization exists for.
 
+use quorum_core::optimal::{optimal_quorum, SearchStrategy};
 use quorum_core::quorum::QuorumSpec;
 use quorum_core::votes::VoteAssignment;
+use quorum_core::AvailabilityModel;
 use quorum_stats::rng::derive_seed;
+use quorum_stats::DiscreteDist;
 
 /// Salt for the object → class hash (fixed: workload shape is part of
 /// the benchmark definition, not of the run seed).
 const CLASS_SALT: u64 = 0x5348_4152_445f_434c; // "SHARD_CL"
 /// Salt for the object → rate-jitter hash.
 const RATE_SALT: u64 = 0x5348_4152_445f_5254; // "SHARD_RT"
+/// Salt for the object → α-bucket hash (per-object assignments).
+const BUCKET_SALT: u64 = 0x5348_4152_445f_4142; // "SHARD_AB"
 
 /// One equivalence class of objects: how they vote and how they are
 /// accessed.
@@ -28,18 +45,47 @@ pub struct ObjectClass {
     pub votes: VoteAssignment,
     /// Read/write quorum thresholds over those votes.
     pub spec: QuorumSpec,
-    /// Probability an access is a read.
+    /// Probability an access is a read (class baseline; per-object α
+    /// may spread around it under bucketed assignments).
     pub alpha: f64,
     /// Base Poisson access rate (events per unit simulated time),
     /// before per-object jitter.
     pub base_rate: f64,
 }
 
-/// The full object population: classes plus the object → class map.
+/// One entry of the assignment table: the (vote table, spec) pair a set
+/// of objects is granted quorums under. The timeline precomputes one
+/// grant row per profile per epoch.
+#[derive(Debug, Clone)]
+pub struct AssignmentProfile {
+    /// Human-readable label (manifest/debug only).
+    pub name: String,
+    /// Index into [`ObjectCatalog::vote_tables`] — profiles sharing a
+    /// vote table share the per-component vote sums the timeline
+    /// computes per epoch.
+    pub votes_key: usize,
+    /// Read/write quorum thresholds over that vote table.
+    pub spec: QuorumSpec,
+}
+
+/// The full object population: classes, the assignment table, and the
+/// object → class / α-bucket maps.
 #[derive(Debug, Clone)]
 pub struct ObjectCatalog {
     classes: Vec<ObjectClass>,
+    /// Distinct vote assignments referenced by the profiles.
+    vote_tables: Vec<VoteAssignment>,
+    /// The assignment table (≥ 1 profile per class).
+    profiles: Vec<AssignmentProfile>,
+    /// `class * buckets + bucket` → profile index.
+    slot_profile: Vec<usize>,
+    /// `class * buckets + bucket` → per-object read ratio.
+    slot_alpha: Vec<f64>,
+    /// α-buckets per class (1 = per-class assignments).
+    buckets: usize,
     objects: u64,
+    /// Objective evaluations the optimizer spent building the table.
+    optimizer_evaluations: u64,
 }
 
 impl ObjectCatalog {
@@ -99,7 +145,109 @@ impl ObjectCatalog {
                 base_rate: 4.0,
             },
         ];
-        Self { classes, objects }
+        // One profile per class; vote tables deduped structurally so the
+        // timeline computes per-component vote sums once per table, not
+        // once per class.
+        let mut vote_tables: Vec<VoteAssignment> = Vec::new();
+        let mut profiles = Vec::with_capacity(classes.len());
+        let mut slot_alpha = Vec::with_capacity(classes.len());
+        for class in &classes {
+            let votes_key = intern_votes(&mut vote_tables, &class.votes);
+            profiles.push(AssignmentProfile {
+                name: class.name.to_string(),
+                votes_key,
+                spec: class.spec,
+            });
+            slot_alpha.push(class.alpha);
+        }
+        Self {
+            slot_profile: (0..classes.len()).collect(),
+            classes,
+            vote_tables,
+            profiles,
+            slot_alpha,
+            buckets: 1,
+            objects,
+            optimizer_evaluations: 0,
+        }
+    }
+
+    /// Expands the assignment table to **per-object** assignments:
+    /// objects of each class spread (by pure hash) over `buckets`
+    /// read-ratio buckets whose α values fan `± spread` around the
+    /// class α, and each uniform-vote bucket's quorum spec is chosen by
+    /// the paper's optimizer over `density` — the component-vote
+    /// distribution of the deployment's topology (for uniform votes,
+    /// component votes = component sites, so any analytic site-count
+    /// density from [`quorum_core::analytic`] fits directly).
+    ///
+    /// Non-uniform classes (weighted-core) keep their engineered spec in
+    /// every bucket: the availability model quantifies over exchangeable
+    /// vote densities, which a weighted table does not satisfy.
+    /// Profiles that optimize to the same spec are deduplicated, so the
+    /// timeline's grant table only grows by the number of *distinct*
+    /// optimal assignments.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`, `spread` is negative/non-finite, or
+    /// `density`'s vote domain disagrees with the uniform classes'
+    /// vote totals.
+    pub fn with_optimized_assignments(
+        mut self,
+        density: &DiscreteDist,
+        buckets: usize,
+        spread: f64,
+    ) -> Self {
+        assert!(buckets >= 1, "need at least one alpha bucket");
+        assert!(spread >= 0.0 && spread.is_finite(), "spread must be >= 0");
+        let model = AvailabilityModel::from_mixtures(density, density);
+        let mut profiles: Vec<AssignmentProfile> = Vec::new();
+        let mut slot_profile = Vec::with_capacity(self.classes.len() * buckets);
+        let mut slot_alpha = Vec::with_capacity(self.classes.len() * buckets);
+        let mut evaluations = 0u64;
+        for class in &self.classes {
+            let votes_key = intern_votes(&mut self.vote_tables, &class.votes);
+            if class.votes.is_uniform() {
+                assert_eq!(
+                    model.total_votes(),
+                    class.votes.total(),
+                    "density domain must match the uniform vote total"
+                );
+            }
+            for b in 0..buckets {
+                let alpha = bucket_alpha(class.alpha, b, buckets, spread);
+                let spec = if class.votes.is_uniform() {
+                    let opt = optimal_quorum(&model, alpha, SearchStrategy::EndpointGolden);
+                    evaluations += opt.evaluations as u64;
+                    opt.spec
+                } else {
+                    class.spec
+                };
+                let profile = profiles
+                    .iter()
+                    .position(|p| {
+                        p.votes_key == votes_key
+                            && p.spec.q_r() == spec.q_r()
+                            && p.spec.q_w() == spec.q_w()
+                    })
+                    .unwrap_or_else(|| {
+                        profiles.push(AssignmentProfile {
+                            name: format!("{}/qr{}", class.name, spec.q_r()),
+                            votes_key,
+                            spec,
+                        });
+                        profiles.len() - 1
+                    });
+                slot_profile.push(profile);
+                slot_alpha.push(alpha);
+            }
+        }
+        self.profiles = profiles;
+        self.slot_profile = slot_profile;
+        self.slot_alpha = slot_alpha;
+        self.buckets = buckets;
+        self.optimizer_evaluations = evaluations;
+        self
     }
 
     /// Number of object classes.
@@ -122,9 +270,59 @@ impl ObjectCatalog {
         &self.classes[k]
     }
 
+    /// The assignment table, index-aligned with [`Self::assignment_of`].
+    pub fn profiles(&self) -> &[AssignmentProfile] {
+        &self.profiles
+    }
+
+    /// Number of assignment profiles (grant rows per timeline epoch).
+    pub fn num_assignments(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Distinct vote assignments referenced by
+    /// [`AssignmentProfile::votes_key`].
+    pub fn vote_tables(&self) -> &[VoteAssignment] {
+        &self.vote_tables
+    }
+
+    /// α-buckets per class (1 = per-class assignments).
+    pub fn alpha_buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Objective evaluations spent building the assignment table (0 for
+    /// the per-class [`Self::paper_mix`]).
+    pub fn optimizer_evaluations(&self) -> u64 {
+        self.optimizer_evaluations
+    }
+
     /// Class index of one object (pure hash of the id).
     pub fn class_of(&self, object: u64) -> usize {
         (derive_seed(CLASS_SALT, object) % self.classes.len() as u64) as usize
+    }
+
+    /// α-bucket of one object (pure hash of the id; always 0 when the
+    /// table is per-class).
+    fn bucket_of(&self, object: u64) -> usize {
+        if self.buckets == 1 {
+            0
+        } else {
+            (derive_seed(BUCKET_SALT, object) % self.buckets as u64) as usize
+        }
+    }
+
+    /// Assignment-profile index of one object.
+    #[inline]
+    pub fn assignment_of(&self, object: u64) -> usize {
+        self.slot_profile[self.class_of(object) * self.buckets + self.bucket_of(object)]
+    }
+
+    /// Read ratio of one object (the class α, or its bucket's α under
+    /// per-object assignments).
+    #[inline]
+    pub fn alpha_of(&self, object: u64) -> f64 {
+        self.slot_alpha[self.class_of(object) * self.buckets + self.bucket_of(object)]
     }
 
     /// Poisson access rate of one object: the class base rate scaled by
@@ -140,6 +338,29 @@ impl ObjectCatalog {
     pub fn total_rate(&self) -> f64 {
         (0..self.objects).map(|o| self.rate_of(o)).sum()
     }
+}
+
+/// Index of `votes` in `tables`, interning it if new.
+fn intern_votes(tables: &mut Vec<VoteAssignment>, votes: &VoteAssignment) -> usize {
+    tables
+        .iter()
+        .position(|t| t.as_slice() == votes.as_slice())
+        .unwrap_or_else(|| {
+            tables.push(votes.clone());
+            tables.len() - 1
+        })
+}
+
+/// α of bucket `b` of `buckets`: the class α shifted linearly across
+/// `[-spread, +spread]`, clamped to `[0.01, 0.99]` so both access kinds
+/// keep nonzero probability.
+fn bucket_alpha(class_alpha: f64, b: usize, buckets: usize, spread: f64) -> f64 {
+    let offset = if buckets == 1 {
+        0.0
+    } else {
+        spread * (2.0 * b as f64 / (buckets - 1) as f64 - 1.0)
+    };
+    (class_alpha + offset).clamp(0.01, 0.99)
 }
 
 #[cfg(test)]
@@ -213,5 +434,99 @@ mod tests {
         for class in c.classes() {
             assert!(class.spec.q_r() >= 1);
         }
+    }
+
+    #[test]
+    fn paper_mix_assignment_table_is_one_profile_per_class() {
+        let c = ObjectCatalog::paper_mix(13, 100);
+        assert_eq!(c.num_assignments(), c.num_classes());
+        assert_eq!(c.alpha_buckets(), 1);
+        assert_eq!(c.optimizer_evaluations(), 0);
+        // Four uniform classes share one table; weighted-core has its own.
+        assert_eq!(c.vote_tables().len(), 2);
+        for o in 0..c.num_objects() {
+            assert_eq!(c.assignment_of(o), c.class_of(o));
+            let k = c.class_of(o);
+            assert!((c.alpha_of(o) - c.class(k).alpha).abs() < 1e-15);
+            let p = &c.profiles()[c.assignment_of(o)];
+            assert_eq!(p.spec.q_r(), c.class(k).spec.q_r());
+            assert_eq!(
+                c.vote_tables()[p.votes_key].as_slice(),
+                c.class(k).votes.as_slice()
+            );
+        }
+    }
+
+    fn optimized_fixture(n_sites: usize, objects: u64, buckets: usize) -> ObjectCatalog {
+        let density = quorum_core::analytic::ring_density(n_sites, 0.96, 0.96);
+        ObjectCatalog::paper_mix(n_sites, objects)
+            .with_optimized_assignments(&density, buckets, 0.2)
+    }
+
+    #[test]
+    fn optimized_assignments_spread_alpha_and_specs_per_object() {
+        let c = optimized_fixture(13, 400, 5);
+        assert_eq!(c.alpha_buckets(), 5);
+        assert!(c.optimizer_evaluations() > 0);
+        // More profiles than classes: the buckets produced distinct
+        // optimizer picks somewhere in the mix.
+        assert!(
+            c.num_assignments() > c.num_classes(),
+            "{} profiles",
+            c.num_assignments()
+        );
+        // Two objects of the same class in different buckets can carry
+        // different α and different assignments.
+        let mut alphas_per_class = vec![std::collections::BTreeSet::new(); c.num_classes()];
+        for o in 0..c.num_objects() {
+            alphas_per_class[c.class_of(o)].insert(c.alpha_of(o).to_bits());
+            let p = &c.profiles()[c.assignment_of(o)];
+            assert!(p.spec.q_r() >= 1);
+            // Vote table matches the object's class table.
+            assert_eq!(
+                c.vote_tables()[p.votes_key].as_slice(),
+                c.class(c.class_of(o)).votes.as_slice()
+            );
+        }
+        assert!(alphas_per_class.iter().any(|s| s.len() > 1));
+    }
+
+    #[test]
+    fn optimized_weighted_class_keeps_engineered_spec() {
+        let c = optimized_fixture(13, 100, 3);
+        let weighted_key = c
+            .vote_tables()
+            .iter()
+            .position(|t| !t.is_uniform())
+            .expect("weighted table interned");
+        for p in c.profiles().iter().filter(|p| p.votes_key == weighted_key) {
+            assert_eq!(p.spec.q_r(), c.class(3).spec.q_r());
+            assert_eq!(p.spec.q_w(), c.class(3).spec.q_w());
+        }
+    }
+
+    #[test]
+    fn optimizer_favors_looser_reads_for_read_heavy_buckets() {
+        let c = optimized_fixture(13, 100, 5);
+        // The rowa class at α ≈ 0.99: optimal q_r should sit at the loose
+        // end, strictly below majority.
+        let rowa_profiles: Vec<_> = (0..c.num_objects())
+            .filter(|&o| c.class_of(o) == 4)
+            .map(|o| c.profiles()[c.assignment_of(o)].spec.q_r())
+            .collect();
+        assert!(!rowa_profiles.is_empty());
+        assert!(
+            rowa_profiles.iter().all(|&q| q < 7),
+            "read-heavy objects must not pay majority reads: {rowa_profiles:?}"
+        );
+    }
+
+    #[test]
+    fn bucket_alpha_is_clamped_and_centered() {
+        assert!((bucket_alpha(0.5, 0, 1, 0.2) - 0.5).abs() < 1e-15);
+        assert!((bucket_alpha(0.5, 0, 3, 0.2) - 0.3).abs() < 1e-15);
+        assert!((bucket_alpha(0.5, 2, 3, 0.2) - 0.7).abs() < 1e-15);
+        assert!(bucket_alpha(0.99, 4, 5, 0.3) <= 0.99);
+        assert!(bucket_alpha(0.01, 0, 5, 0.3) >= 0.01);
     }
 }

@@ -1,17 +1,32 @@
-//! The throughput engine: batched sharded walks vs the naive heap.
+//! The throughput engine: batched SoA stripe walks vs the naive heap.
 //!
 //! Both engines simulate the identical system — every object's Poisson
 //! access walk over the shared [`FailureTimeline`] — and consume each
-//! object's RNG stream in the identical order (gap, then kind, then
-//! site, repeat), so their aggregate statistics are **equal**, not
-//! merely statistically indistinguishable:
+//! object's counter-based RNG stream at the identical positions, so
+//! their aggregate statistics are **equal**, not merely statistically
+//! indistinguishable.
+//!
+//! ## The RNG draw-order contract
+//!
+//! Object `o` owns the [`CounterRng`] stream `derive_seed(master, o)`
+//! (`master` = `derive_seed(seed, 2)`). Draw 0 is the gap to the first
+//! access; access `i` (0-based) then consumes draws `1 + 3i` (read/write
+//! kind), `2 + 3i` (submitting site), and `3 + 3i` (gap to the next
+//! access). Because a draw is a pure function of `(seed, counter)`,
+//! the batched kernel can sample a whole stripe's next accesses in one
+//! branchless pass while the heap engine walks the same streams one
+//! draw at a time — and both land on bit-identical values.
+//!
+//! ## The two engines
 //!
 //! * [`ShardEngine::run_sharded`] partitions the object space into
-//!   contiguous shards and fans them through [`quorum_stats::converge`].
-//!   Each shard walks its objects in one tight loop — no event queue at
-//!   all — and returns an all-`u64` [`ShardStats`] whose merge is
-//!   associative and commutative, making the aggregate invariant to
-//!   shard partitioning *and* thread count.
+//!   contiguous shards and fans them through [`quorum_stats::converge`]
+//!   (one shard walks inline). Each shard walks its objects in SoA
+//!   **stripes** of [`STRIPE`] lanes — per-lane seed/counter/clock/rate
+//!   arrays, a batched sampling pass, then a resolve pass against the
+//!   timeline's bucketed epoch index — and returns an all-`u64`
+//!   [`ShardStats`] whose merge is associative and commutative, making
+//!   the aggregate invariant to shard partitioning *and* thread count.
 //! * [`ShardEngine::run_naive`] is the classical formulation: one
 //!   binary-heap future-event list holding every object's next access,
 //!   popped one access at a time (`O(log N)` per access with `N` heap
@@ -19,18 +34,24 @@
 //!   baseline the batched path is measured against.
 
 use crate::catalog::ObjectCatalog;
-use crate::timeline::FailureTimeline;
-use quorum_core::protocol::Access;
+use crate::timeline::{FailureTimeline, READ_BIT, WRITE_BIT};
 use quorum_graph::Topology;
-use quorum_stats::rng::{derive_seed, exponential, rng_from_seed};
-use quorum_stats::{converge, ConvergeParams, Convergence};
-use rand::Rng;
+use quorum_stats::rng::{derive_seed, exponential_from_uniform, CounterRng};
+use quorum_stats::{converge, BatchMeans, ConvergeParams, Convergence};
+use std::time::Duration;
+
+/// Lanes per SoA stripe: object state lives in fixed-width parallel
+/// arrays and the sampling pass runs branchless over the live lanes, so
+/// the compiler can keep the SplitMix64 mixes and float converts in
+/// vector registers.
+pub const STRIPE: usize = 64;
 
 /// Aggregate access tallies of a run (or of one shard of it).
 ///
 /// Every field is an exact integer count, so merging shards is
 /// associative/commutative and aggregates are bit-stable across any
-/// partitioning of the object space.
+/// partitioning of the object space — and any walk order within a
+/// shard, which is what lets the stripe kernel interleave objects.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardStats {
     /// Objects walked.
@@ -110,6 +131,175 @@ impl ShardStats {
     }
 }
 
+/// Records one access outcome from its precomputed grant mask.
+#[inline]
+fn record(stats: &mut ShardStats, class: usize, mask: u8, is_read: bool) {
+    let granted = if is_read {
+        mask & READ_BIT != 0
+    } else {
+        mask & WRITE_BIT != 0
+    };
+    stats.accesses += 1;
+    stats.class_accesses[class] += 1;
+    if is_read {
+        stats.reads_submitted += 1;
+        stats.reads_granted += u64::from(granted);
+    } else {
+        stats.writes_submitted += 1;
+        stats.writes_granted += u64::from(granted);
+    }
+    stats.class_granted[class] += u64::from(granted);
+}
+
+/// Checked-once walk context: every invariant the inner loops rely on
+/// (positive finite rates and horizon, catalog/timeline agreement on
+/// the assignment table) is validated here, so the per-access path
+/// carries no asserts beyond debug builds.
+struct PreparedWalk<'a> {
+    catalog: &'a ObjectCatalog,
+    timeline: &'a FailureTimeline,
+    sites: usize,
+    sites_f: f64,
+    horizon: f64,
+    master: u64,
+}
+
+impl<'a> PreparedWalk<'a> {
+    /// Validates the run configuration once.
+    ///
+    /// # Panics
+    /// Panics if the horizon is not positive/finite or exceeds the
+    /// timeline's, if the timeline was built for a different assignment
+    /// table, or if any class has a non-positive rate or an α outside
+    /// `[0, 1]` (per-bucket αs are clamped into `(0, 1)` by
+    /// construction, and per-object rates inherit positivity from the
+    /// class base rate).
+    fn new(engine: &ShardEngine<'a>) -> Self {
+        let horizon = engine.horizon;
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive and finite"
+        );
+        assert!(
+            horizon <= engine.timeline.horizon(),
+            "walk horizon exceeds the timeline's"
+        );
+        assert_eq!(
+            engine.timeline.num_assignments(),
+            engine.catalog.num_assignments(),
+            "timeline was built for a different assignment table"
+        );
+        for class in engine.catalog.classes() {
+            assert!(
+                class.base_rate > 0.0 && class.base_rate.is_finite(),
+                "class {} rate must be positive",
+                class.name
+            );
+            assert!(
+                (0.0..=1.0).contains(&class.alpha),
+                "class {} alpha out of range",
+                class.name
+            );
+        }
+        let sites = engine.topology.num_sites();
+        Self {
+            catalog: engine.catalog,
+            timeline: engine.timeline,
+            sites,
+            sites_f: sites as f64,
+            horizon,
+            master: engine.access_master(),
+        }
+    }
+
+    /// Submitting site for a uniform draw `u ∈ [0, 1)`.
+    #[inline]
+    fn site_of(&self, u: f64) -> usize {
+        ((u * self.sites_f) as usize).min(self.sites - 1)
+    }
+
+    /// Walks objects `[lo, hi)` in SoA stripes into `stats`.
+    fn walk_range(&self, lo: u64, hi: u64, stats: &mut ShardStats) {
+        let mut start = lo;
+        while start < hi {
+            let end = (start + STRIPE as u64).min(hi);
+            self.walk_stripe(start, end, stats);
+            start = end;
+        }
+    }
+
+    /// Walks one stripe of up to [`STRIPE`] objects to the horizon.
+    ///
+    /// Per round, every live lane advances by exactly one access in
+    /// three passes: a branchless batch-sampling pass (kind/site/gap
+    /// uniforms straight from the lane's `(seed, counter)`), a resolve
+    /// pass (bucketed epoch lookup + one grant-mask byte load + tally),
+    /// and a compaction pass retiring lanes whose clock passed the
+    /// horizon. Tallies are additive, so the lane interleaving leaves
+    /// the aggregate identical to a one-object-at-a-time walk.
+    fn walk_stripe(&self, lo: u64, hi: u64, stats: &mut ShardStats) {
+        let width = (hi - lo) as usize;
+        debug_assert!(0 < width && width <= STRIPE);
+        let mut seed = [0u64; STRIPE];
+        let mut ctr = [0u64; STRIPE];
+        let mut t = [0.0f64; STRIPE];
+        let mut inv_rate = [0.0f64; STRIPE];
+        let mut alpha = [0.0f64; STRIPE];
+        let mut class = [0u32; STRIPE];
+        let mut assign = [0u32; STRIPE];
+        let mut epoch = [0u32; STRIPE];
+        let mut live = [0usize; STRIPE];
+        let mut len = 0usize;
+        for (i, o) in (lo..hi).enumerate() {
+            let s = derive_seed(self.master, o);
+            let inv = 1.0 / self.catalog.rate_of(o);
+            seed[i] = s;
+            inv_rate[i] = inv;
+            alpha[i] = self.catalog.alpha_of(o);
+            class[i] = self.catalog.class_of(o) as u32;
+            assign[i] = self.catalog.assignment_of(o) as u32;
+            t[i] = exponential_from_uniform(CounterRng::uniform_at(s, 0), inv);
+            ctr[i] = 1;
+            stats.objects += 1;
+            if t[i] < self.horizon {
+                live[len] = i;
+                len += 1;
+            }
+        }
+        let mut u_kind = [0.0f64; STRIPE];
+        let mut u_site = [0.0f64; STRIPE];
+        let mut gap = [0.0f64; STRIPE];
+        while len > 0 {
+            for (i, &l) in live[..len].iter().enumerate() {
+                u_kind[i] = CounterRng::uniform_at(seed[l], ctr[l]);
+                u_site[i] = CounterRng::uniform_at(seed[l], ctr[l] + 1);
+                gap[i] = exponential_from_uniform(
+                    CounterRng::uniform_at(seed[l], ctr[l] + 2),
+                    inv_rate[l],
+                );
+                ctr[l] += 3;
+            }
+            for (i, &l) in live[..len].iter().enumerate() {
+                let site = self.site_of(u_site[i]);
+                let e = self.timeline.epoch_at(t[l], epoch[l] as usize);
+                epoch[l] = e as u32;
+                let mask = self.timeline.grant_mask(e, assign[l] as usize, site);
+                record(stats, class[l] as usize, mask, u_kind[i] < alpha[l]);
+                t[l] += gap[i];
+            }
+            let mut w = 0usize;
+            for i in 0..len {
+                let l = live[i];
+                if t[l] < self.horizon {
+                    live[w] = l;
+                    w += 1;
+                }
+            }
+            len = w;
+        }
+    }
+}
+
 /// The engine: topology + catalog + timeline + the run seed.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardEngine<'a> {
@@ -145,57 +335,6 @@ impl<'a> ShardEngine<'a> {
         derive_seed(self.seed, 2)
     }
 
-    /// Walks one object's full access history into `stats`.
-    ///
-    /// Draw order per access — gap, then read/write kind, then
-    /// submitting site — is the contract both engines share; the naive
-    /// engine consumes the same per-object stream in the same order, so
-    /// the tallies agree exactly.
-    fn walk_object(&self, object: u64, stats: &mut ShardStats) {
-        let n = self.topology.num_sites();
-        let class = self.catalog.class_of(object);
-        let alpha = self.catalog.class(class).alpha;
-        let rate = self.catalog.rate_of(object);
-        let ends = self.timeline.epoch_ends();
-        let mut rng = rng_from_seed(derive_seed(self.access_master(), object));
-        let mut epoch = 0usize;
-        let mut t = exponential(&mut rng, rate);
-        stats.objects += 1;
-        while t < self.horizon {
-            let is_read = rng.random::<f64>() < alpha;
-            let site = ((rng.random::<f64>() * n as f64) as usize).min(n - 1);
-            while ends[epoch] <= t {
-                epoch += 1;
-            }
-            self.tally(stats, class, epoch, site, is_read);
-            t += exponential(&mut rng, rate);
-        }
-    }
-
-    /// Records one access outcome.
-    #[inline]
-    fn tally(
-        &self,
-        stats: &mut ShardStats,
-        class: usize,
-        epoch: usize,
-        site: usize,
-        is_read: bool,
-    ) {
-        let kind = if is_read { Access::Read } else { Access::Write };
-        let granted = self.timeline.granted(epoch, class, site, kind);
-        stats.accesses += 1;
-        stats.class_accesses[class] += 1;
-        if is_read {
-            stats.reads_submitted += 1;
-            stats.reads_granted += u64::from(granted);
-        } else {
-            stats.writes_submitted += 1;
-            stats.writes_granted += u64::from(granted);
-        }
-        stats.class_granted[class] += u64::from(granted);
-    }
-
     /// Contiguous object range of shard `b` of `shards` (balanced to
     /// within one object).
     fn shard_range(&self, shards: u64, b: u64) -> (u64, u64) {
@@ -208,25 +347,45 @@ impl<'a> ShardEngine<'a> {
     }
 
     /// Runs the batched engine: `shards` contiguous object ranges fanned
-    /// over `threads` workers through [`quorum_stats::converge`].
+    /// over `threads` workers through [`quorum_stats::converge`], each
+    /// walked by the SoA stripe kernel.
     ///
-    /// Every shard is dispatched and consumed (`min_batches ==
-    /// max_batches == shards`, with a vanishing half-width target so the
-    /// orchestrator never discards a speculative batch), and shard
-    /// tallies merge in shard-index order — the aggregate is therefore
-    /// invariant to both the shard count and the thread count.
+    /// With `shards >= 2`, every shard is dispatched and consumed
+    /// (`min_batches == max_batches == shards`, with a vanishing
+    /// half-width target so the orchestrator never discards a
+    /// speculative batch), and shard tallies merge in shard-index order
+    /// — the aggregate is therefore invariant to both the shard count
+    /// and the thread count. A single shard walks inline (the batch
+    /// orchestrator needs two batches for an interval), producing the
+    /// same tally any other partitioning does.
     ///
     /// # Panics
-    /// Panics unless `2 <= shards <= objects`.
+    /// Panics unless `1 <= shards <= objects`.
     pub fn run_sharded(&self, shards: u64, threads: usize) -> (ShardStats, Convergence) {
-        assert!(
-            shards >= 2,
-            "the batch orchestrator needs at least 2 shards"
-        );
+        assert!(shards >= 1, "need at least one shard");
         assert!(
             shards <= self.catalog.num_objects(),
             "more shards than objects"
         );
+        let prepared = PreparedWalk::new(self);
+        if shards == 1 {
+            let mut total = ShardStats::new(self.catalog.num_classes());
+            prepared.walk_range(0, self.catalog.num_objects(), &mut total);
+            // The stopping-rule accumulator still carries the primary
+            // statistic; timing fields are zero — nothing was fanned out,
+            // so there is no thread-seconds denominator to report.
+            let mut acc = BatchMeans::new(0.95, 1e-12, 2);
+            acc.push_batch(total.accesses as f64);
+            let conv = Convergence {
+                acc,
+                batches: 1,
+                trace: Vec::new(),
+                busy: Duration::ZERO,
+                available_thread_seconds: 0.0,
+                wall: Duration::ZERO,
+            };
+            return (total, conv);
+        }
         let params = ConvergeParams {
             confidence: 0.95,
             // Shards are a partition of one run, not independent
@@ -244,9 +403,7 @@ impl<'a> ShardEngine<'a> {
             |b| {
                 let (lo, hi) = self.shard_range(shards, b);
                 let mut s = ShardStats::new(self.catalog.num_classes());
-                for o in lo..hi {
-                    self.walk_object(o, &mut s);
-                }
+                prepared.walk_range(lo, hi, &mut s);
                 s
             },
             |s| s.accesses as f64,
@@ -258,43 +415,53 @@ impl<'a> ShardEngine<'a> {
     /// Runs the naive reference engine: every object's next access lives
     /// in one binary-heap future-event list, popped one at a time.
     ///
-    /// Consumes each per-object RNG stream in exactly the order
+    /// Consumes each per-object counter stream at exactly the positions
     /// [`Self::run_sharded`] does, so the returned tally is equal — the
     /// difference is purely the `O(log N)`-per-access event-list traffic
     /// this formulation pays.
     pub fn run_naive(&self) -> ShardStats {
-        let objects = self.catalog.num_objects();
-        let master = self.access_master();
+        let prepared = PreparedWalk::new(self);
+        let objects = self.catalog.num_objects() as usize;
         let mut queue: quorum_des::EventQueue<u64> = quorum_des::EventQueue::new();
-        let mut rngs = Vec::with_capacity(objects as usize);
-        let mut rates = Vec::with_capacity(objects as usize);
-        for o in 0..objects {
-            let mut rng = rng_from_seed(derive_seed(master, o));
-            let rate = self.catalog.rate_of(o);
-            let t = exponential(&mut rng, rate);
+        let mut seeds = Vec::with_capacity(objects);
+        let mut ctrs = vec![1u64; objects];
+        let mut inv_rates = Vec::with_capacity(objects);
+        let mut alphas = Vec::with_capacity(objects);
+        let mut classes = Vec::with_capacity(objects);
+        let mut assigns = Vec::with_capacity(objects);
+        for o in 0..objects as u64 {
+            let s = derive_seed(prepared.master, o);
+            let inv = 1.0 / self.catalog.rate_of(o);
+            let t = exponential_from_uniform(CounterRng::uniform_at(s, 0), inv);
             if t < self.horizon {
                 queue.schedule(quorum_des::SimTime::new(t), o);
             }
-            rngs.push(rng);
-            rates.push(rate);
+            seeds.push(s);
+            inv_rates.push(inv);
+            alphas.push(self.catalog.alpha_of(o));
+            classes.push(self.catalog.class_of(o) as u32);
+            assigns.push(self.catalog.assignment_of(o) as u32);
         }
-        let n = self.topology.num_sites();
-        let ends = self.timeline.epoch_ends();
         let mut stats = ShardStats::new(self.catalog.num_classes());
-        stats.objects = objects;
+        stats.objects = objects as u64;
+        // Pops arrive in global time order, so one epoch hint serves
+        // every object.
         let mut epoch = 0usize;
         while let Some((t, o)) = queue.pop() {
-            let rng = &mut rngs[o as usize];
-            let class = self.catalog.class_of(o);
-            let is_read = rng.random::<f64>() < self.catalog.class(class).alpha;
-            let site = ((rng.random::<f64>() * n as f64) as usize).min(n - 1);
-            // Pops arrive in global time order, so one cursor serves
-            // every object.
-            while ends[epoch] <= t.as_f64() {
-                epoch += 1;
-            }
-            self.tally(&mut stats, class, epoch, site, is_read);
-            let next = t.as_f64() + exponential(rng, rates[o as usize]);
+            let i = o as usize;
+            let u_kind = CounterRng::uniform_at(seeds[i], ctrs[i]);
+            let u_site = CounterRng::uniform_at(seeds[i], ctrs[i] + 1);
+            let gap = exponential_from_uniform(
+                CounterRng::uniform_at(seeds[i], ctrs[i] + 2),
+                inv_rates[i],
+            );
+            ctrs[i] += 3;
+            epoch = self.timeline.epoch_at(t.as_f64(), epoch);
+            let mask =
+                self.timeline
+                    .grant_mask(epoch, assigns[i] as usize, prepared.site_of(u_site));
+            record(&mut stats, classes[i] as usize, mask, u_kind < alphas[i]);
+            let next = t.as_f64() + gap;
             if next < self.horizon {
                 queue.schedule(quorum_des::SimTime::new(next), o);
             }
@@ -319,6 +486,22 @@ mod tests {
     fn fixture(objects: u64, horizon: f64, seed: u64) -> Fixture {
         let topology = Topology::ring_with_chords(13, 3);
         let catalog = ObjectCatalog::paper_mix(13, objects);
+        let timeline =
+            FailureTimeline::build(&topology, &catalog, &SimParams::quick(), horizon, seed);
+        Fixture {
+            topology,
+            catalog,
+            timeline,
+            horizon,
+            seed,
+        }
+    }
+
+    fn optimized_fixture(objects: u64, horizon: f64, seed: u64) -> Fixture {
+        let topology = Topology::ring_with_chords(13, 3);
+        let density = quorum_core::analytic::ring_density(13, 0.96, 0.96);
+        let catalog =
+            ObjectCatalog::paper_mix(13, objects).with_optimized_assignments(&density, 5, 0.2);
         let timeline =
             FailureTimeline::build(&topology, &catalog, &SimParams::quick(), horizon, seed);
         Fixture {
@@ -361,11 +544,13 @@ mod tests {
     fn aggregate_is_invariant_to_shard_partitioning() {
         let f = fixture(97, 60.0, 13);
         let engine = f.engine();
-        let (a, _) = engine.run_sharded(2, 1);
-        let (b, _) = engine.run_sharded(5, 1);
-        let (c, _) = engine.run_sharded(97, 1);
+        let (a, _) = engine.run_sharded(1, 1);
+        let (b, _) = engine.run_sharded(2, 1);
+        let (c, _) = engine.run_sharded(5, 1);
+        let (d, _) = engine.run_sharded(97, 1);
         assert_eq!(a, b);
         assert_eq!(b, c);
+        assert_eq!(c, d);
     }
 
     #[test]
@@ -375,6 +560,39 @@ mod tests {
         let (a, _) = engine.run_sharded(8, 1);
         let (b, _) = engine.run_sharded(8, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_shard_walks_inline() {
+        let f = fixture(10, 30.0, 1);
+        let (s, conv) = f.engine().run_sharded(1, 4);
+        assert_eq!(s.objects, 10);
+        assert!(s.accesses > 0);
+        assert_eq!(s, f.engine().run_naive());
+        assert_eq!(conv.batches, 1);
+        assert_eq!(conv.wall, Duration::ZERO, "no fan-out, no timing");
+    }
+
+    #[test]
+    fn stripe_boundaries_do_not_change_tallies() {
+        // Object counts straddling multiples of the stripe width all
+        // agree with the naive engine (partial trailing stripes).
+        for objects in [STRIPE as u64 - 1, STRIPE as u64, STRIPE as u64 + 1, 130] {
+            let f = fixture(objects, 25.0, 19);
+            let engine = f.engine();
+            let (batched, _) = engine.run_sharded(3.min(objects), 1);
+            assert_eq!(batched, engine.run_naive(), "objects={objects}");
+        }
+    }
+
+    #[test]
+    fn per_object_assignments_keep_engines_equal() {
+        let f = optimized_fixture(120, 60.0, 23);
+        assert!(f.catalog.num_assignments() > f.catalog.num_classes());
+        let engine = f.engine();
+        let (batched, _) = engine.run_sharded(5, 2);
+        assert_eq!(batched, engine.run_naive());
+        assert!(batched.accesses > 1000);
     }
 
     #[test]
@@ -427,9 +645,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 shards")]
-    fn single_shard_rejected() {
+    #[should_panic(expected = "more shards than objects")]
+    fn oversharding_rejected() {
         let f = fixture(10, 1.0, 1);
-        f.engine().run_sharded(1, 1);
+        f.engine().run_sharded(11, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different assignment table")]
+    fn assignment_table_mismatch_rejected() {
+        let f = fixture(10, 1.0, 1);
+        let density = quorum_core::analytic::ring_density(13, 0.96, 0.96);
+        let other = ObjectCatalog::paper_mix(13, 10).with_optimized_assignments(&density, 5, 0.2);
+        ShardEngine::new(&f.topology, &other, &f.timeline, f.horizon, f.seed).run_sharded(2, 1);
     }
 }

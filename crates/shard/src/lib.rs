@@ -15,16 +15,27 @@
 //!    processes (§5.2) don't depend on the access workload, so the
 //!    network's connectivity history can be materialized *once* per run
 //!    as a [`FailureTimeline`]: a sequence of connectivity epochs, each
-//!    carrying a per-class, per-site grant bitmask precomputed through
-//!    the shared incremental component kernel.
+//!    carrying a per-assignment, per-site grant bitmask precomputed
+//!    through the shared incremental component kernel, plus a bucket
+//!    index making epoch lookup O(1) amortized.
 //! 2. **Accesses never interact.** Quorum checks are instantaneous reads
 //!    of the current partition structure, so each object's access walk
 //!    can be generated in one batched pass — no global event queue, no
-//!    `O(log N)` heap traffic per access.
-//! 3. **Per-object RNG streams.** Every object draws from
-//!    `derive_seed(access_master, object_id)`, so results are invariant
-//!    to shard partitioning and thread count, and bit-identical to the
-//!    naive engine that interleaves all objects through one binary heap.
+//!    `O(log N)` heap traffic per access. The walk kernel exploits this
+//!    with structure-of-arrays stripes of [`engine::STRIPE`] objects,
+//!    batch-sampling every live lane's next access per round.
+//! 3. **Per-object counter RNG streams.** Every object draws from the
+//!    [`quorum_stats::rng::CounterRng`] stream
+//!    `derive_seed(access_master, object_id)` — draw `k` is a pure
+//!    function of the seed and `k` — so results are invariant to shard
+//!    partitioning, thread count, and walk order within a stripe, and
+//!    bit-identical to the naive engine that interleaves all objects
+//!    through one binary heap.
+//!
+//! On top of the classes, [`ObjectCatalog::with_optimized_assignments`]
+//! expands the population to **per-object** quorum assignments chosen by
+//! the paper's optimizer ([`quorum_core::optimal`]) per read-ratio
+//! bucket; the timeline carries one grant row per distinct assignment.
 //!
 //! [`engine::ShardEngine::run_sharded`] fans contiguous object shards
 //! through [`quorum_stats::converge`]; [`engine::ShardEngine::run_naive`]
@@ -37,6 +48,6 @@ pub mod catalog;
 pub mod engine;
 pub mod timeline;
 
-pub use catalog::{ObjectCatalog, ObjectClass};
-pub use engine::{ShardEngine, ShardStats};
+pub use catalog::{AssignmentProfile, ObjectCatalog, ObjectClass};
+pub use engine::{ShardEngine, ShardStats, STRIPE};
 pub use timeline::FailureTimeline;

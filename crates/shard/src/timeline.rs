@@ -6,11 +6,19 @@
 //! through the calendar event queue and the incremental component
 //! kernel, cutting simulated time into **epochs** (maximal intervals
 //! with constant partition structure) and precomputing, per epoch, a
-//! per-class × per-site grant bitmask: "would a read (bit 0) / write
-//! (bit 1) submitted at site `s` for a class-`k` object be granted?".
+//! per-assignment × per-site grant bitmask: "would a read (bit 0) /
+//! write (bit 1) submitted at site `s` for an object under assignment
+//! profile `a` be granted?". Profiles sharing a vote table share the
+//! per-component vote sums, so adding optimizer-expanded per-object
+//! assignments costs one mask row per *distinct* spec, not per object.
 //!
 //! After that, serving a quorum check for any access is one byte load —
-//! the million-object access loops never touch the graph code.
+//! the million-object access loops never touch the graph code. Epoch
+//! membership itself is served by a **bucket index** over `[0,
+//! horizon)`: `bucket_floor[b]` holds the first epoch overlapping
+//! bucket `b`, so [`FailureTimeline::epoch_at`] is a bounded scan of
+//! the (≈ 0.25 with 4× oversampling) epochs per bucket instead of a
+//! walk over every epoch boundary since the object's previous access.
 
 use crate::catalog::ObjectCatalog;
 use quorum_core::protocol::Access;
@@ -20,9 +28,13 @@ use quorum_replica::FailureProcesses;
 use quorum_stats::rng::{derive_seed, rng_from_seed};
 
 /// Read-granted bit in a grant mask.
-const READ_BIT: u8 = 1;
+pub const READ_BIT: u8 = 1;
 /// Write-granted bit in a grant mask.
-const WRITE_BIT: u8 = 2;
+pub const WRITE_BIT: u8 = 2;
+
+/// Epoch-index buckets per epoch (oversampling factor of the bucket
+/// index; higher = shorter scans, more memory).
+const BUCKETS_PER_EPOCH: usize = 4;
 
 /// One failure/repair event in the timeline replay.
 enum TimelineEvent {
@@ -35,21 +47,30 @@ enum TimelineEvent {
 pub struct FailureTimeline {
     /// Exclusive end time of each epoch; the last entry is the horizon.
     epoch_end: Vec<f64>,
-    /// Grant masks, indexed `[(epoch * classes + class) * sites + site]`.
+    /// Grant masks, indexed `[(epoch * assignments + assignment) * sites
+    /// + site]`.
     grants: Vec<u8>,
     sites: usize,
-    classes: usize,
+    /// Assignment profiles per epoch (the catalog's `num_assignments`).
+    assignments: usize,
+    horizon: f64,
+    /// First epoch overlapping each time bucket of `[0, horizon)`.
+    bucket_floor: Vec<u32>,
+    /// Buckets per unit time (`bucket_floor.len() / horizon`).
+    bucket_scale: f64,
     site_transitions: u64,
     link_transitions: u64,
 }
 
 impl FailureTimeline {
     /// Replays the failure stream for `[0, horizon)` and precomputes the
-    /// per-epoch grant tables.
+    /// per-epoch grant tables and the epoch bucket index.
     ///
     /// The failure RNG stream is `derive_seed(seed, 1)` — the same
     /// master/stream split the per-object access walks use (they draw
-    /// from stream 2), so one `seed` fixes the whole run.
+    /// from stream 2), so one `seed` fixes the whole run. The failure
+    /// replay keeps `StdRng`: it runs once per run, off the access hot
+    /// path the counter-based streams exist for.
     ///
     /// # Panics
     /// Panics if `horizon` is not positive and finite.
@@ -83,7 +104,10 @@ impl FailureTimeline {
             epoch_end: Vec::new(),
             grants: Vec::new(),
             sites: n,
-            classes: catalog.num_classes(),
+            assignments: catalog.num_assignments(),
+            horizon,
+            bucket_floor: Vec::new(),
+            bucket_scale: 0.0,
             site_transitions: 0,
             link_transitions: 0,
         };
@@ -142,6 +166,7 @@ impl FailureTimeline {
             &state,
             cache.view(topology, &state, &uniform),
         );
+        out.build_bucket_index();
         out
     }
 
@@ -155,28 +180,68 @@ impl FailureTimeline {
     ) {
         self.epoch_end.push(end);
         let comps = view.num_components();
-        let mut comp_votes = vec![0u64; comps];
-        for (k, class) in catalog.classes().iter().enumerate() {
-            debug_assert_eq!(k, self.grants.len() / self.sites % self.classes);
-            comp_votes.iter_mut().for_each(|v| *v = 0);
-            for s in 0..self.sites {
-                let c = view.component_of(s);
-                if c != ComponentView::DOWN {
-                    comp_votes[c as usize] += class.votes.votes_of(s);
+        let tables = catalog.vote_tables();
+        // Per-component vote sums, once per distinct vote table:
+        // `comp_votes[table * comps + component]`.
+        let mut comp_votes = vec![0u64; tables.len() * comps];
+        for s in 0..self.sites {
+            let c = view.component_of(s);
+            if c != ComponentView::DOWN {
+                for (ti, table) in tables.iter().enumerate() {
+                    comp_votes[ti * comps + c as usize] += table.votes_of(s);
                 }
             }
+        }
+        for profile in catalog.profiles() {
+            let votes = &comp_votes[profile.votes_key * comps..][..comps];
             for s in 0..self.sites {
                 let c = view.component_of(s);
                 let mask = if c == ComponentView::DOWN || !state.site_up(s) {
                     0
                 } else {
-                    let v = comp_votes[c as usize];
-                    u8::from(class.spec.read_granted(v))
-                        | (u8::from(class.spec.write_granted(v)) << 1)
+                    let v = votes[c as usize];
+                    u8::from(profile.spec.read_granted(v))
+                        | (u8::from(profile.spec.write_granted(v)) << 1)
                 };
                 self.grants.push(mask);
             }
         }
+    }
+
+    /// Builds the epoch bucket index: `bucket_floor[b]` = the first
+    /// epoch whose end lies past bucket `b`'s start, i.e. the epoch any
+    /// time in the bucket can belong to at the earliest.
+    fn build_bucket_index(&mut self) {
+        let buckets = (self.epoch_end.len() * BUCKETS_PER_EPOCH).max(1);
+        self.bucket_scale = buckets as f64 / self.horizon;
+        self.bucket_floor = Vec::with_capacity(buckets);
+        let mut e = 0usize;
+        for b in 0..buckets {
+            let start = b as f64 / self.bucket_scale;
+            // epoch_end is strictly increasing and ends at `horizon`,
+            // which every bucket start is strictly below.
+            while self.epoch_end[e] <= start {
+                e += 1;
+            }
+            self.bucket_floor.push(e as u32);
+        }
+    }
+
+    /// The epoch containing time `t ∈ [0, horizon)`.
+    ///
+    /// `hint` is a lower bound on the answer (pass the object's previous
+    /// epoch, or 0); the scan starts at the larger of the hint and the
+    /// bucket floor, so lookups cost O(epochs-per-bucket), not
+    /// O(epochs-since-last-access).
+    #[inline]
+    pub fn epoch_at(&self, t: f64, hint: usize) -> usize {
+        debug_assert!(t >= 0.0 && t < self.horizon);
+        let b = ((t * self.bucket_scale) as usize).min(self.bucket_floor.len() - 1);
+        let mut e = (self.bucket_floor[b] as usize).max(hint);
+        while self.epoch_end[e] <= t {
+            e += 1;
+        }
+        e
     }
 
     /// Number of connectivity epochs (≥ 1; at least the all-up one).
@@ -189,11 +254,28 @@ impl FailureTimeline {
         &self.epoch_end
     }
 
-    /// Whether a read submitted at `site` during `epoch` is granted for
-    /// a class-`k` object.
+    /// Assignment profiles per epoch (grant rows).
+    pub fn num_assignments(&self) -> usize {
+        self.assignments
+    }
+
+    /// The run horizon the timeline was built for.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Raw grant mask for (`epoch`, `assignment`, `site`):
+    /// [`READ_BIT`] | [`WRITE_BIT`].
     #[inline]
-    pub fn granted(&self, epoch: usize, class: usize, site: usize, kind: Access) -> bool {
-        let mask = self.grants[(epoch * self.classes + class) * self.sites + site];
+    pub fn grant_mask(&self, epoch: usize, assignment: usize, site: usize) -> u8 {
+        self.grants[(epoch * self.assignments + assignment) * self.sites + site]
+    }
+
+    /// Whether an access of `kind` submitted at `site` during `epoch` is
+    /// granted for an object under assignment profile `assignment`.
+    #[inline]
+    pub fn granted(&self, epoch: usize, assignment: usize, site: usize, kind: Access) -> bool {
+        let mask = self.grant_mask(epoch, assignment, site);
         match kind {
             Access::Read => mask & READ_BIT != 0,
             Access::Write => mask & WRITE_BIT != 0,
@@ -221,6 +303,7 @@ impl FailureTimeline {
             self.link_transitions,
         );
         registry.add(quorum_obs::keys::SHARD_EPOCHS, self.num_epochs() as u64);
+        registry.add(quorum_obs::keys::SHARD_ASSIGNMENTS, self.assignments as u64);
     }
 }
 
@@ -271,17 +354,18 @@ mod tests {
         // transition before it: the single epoch is the all-up network.
         let (_, c, tl) = quick_timeline(0.001, 11);
         assert_eq!(tl.num_epochs(), 1);
-        for (k, class) in c.classes().iter().enumerate() {
+        assert_eq!(tl.num_assignments(), c.num_assignments());
+        for (a, profile) in c.profiles().iter().enumerate() {
             for s in 0..13 {
                 assert!(
-                    tl.granted(0, k, s, Access::Read),
-                    "class {} read at site {s}",
-                    class.name
+                    tl.granted(0, a, s, Access::Read),
+                    "profile {} read at site {s}",
+                    profile.name
                 );
                 assert!(
-                    tl.granted(0, k, s, Access::Write),
-                    "class {} write at site {s}",
-                    class.name
+                    tl.granted(0, a, s, Access::Write),
+                    "profile {} write at site {s}",
+                    profile.name
                 );
             }
         }
@@ -294,9 +378,9 @@ mod tests {
         let (_, c, tl) = quick_timeline(2000.0, 7);
         let mut denied = 0u64;
         for e in 0..tl.num_epochs() {
-            for k in 0..c.num_classes() {
+            for a in 0..c.num_assignments() {
                 for s in 0..13 {
-                    if !tl.granted(e, k, s, Access::Write) {
+                    if !tl.granted(e, a, s, Access::Write) {
                         denied += 1;
                     }
                 }
@@ -315,7 +399,7 @@ mod tests {
         // of partitioning: check it against a long, failure-rich run.
         let (t, c, tl) = quick_timeline(2000.0, 3);
         let rowa = 4;
-        assert_eq!(c.class(rowa).name, "rowa");
+        assert_eq!(c.profiles()[rowa].name, "rowa");
         let mut up_site_reads = 0u64;
         for e in 0..tl.num_epochs() {
             for s in 0..t.num_sites() {
@@ -349,14 +433,76 @@ mod tests {
     }
 
     #[test]
+    fn epoch_at_agrees_with_linear_scan() {
+        let (_, _, tl) = quick_timeline(800.0, 17);
+        assert!(tl.num_epochs() > 3, "want a multi-epoch fixture");
+        let ends = tl.epoch_ends();
+        // Probe a dense grid plus the exact boundary neighborhoods.
+        let mut probes: Vec<f64> = (0..4000).map(|i| 800.0 * i as f64 / 4000.0).collect();
+        for &end in ends.iter().take(ends.len() - 1) {
+            probes.push(end - 1e-9);
+            probes.push(end);
+            probes.push(end + 1e-9);
+        }
+        let mut hint = 0usize;
+        let mut sorted = probes.clone();
+        sorted.sort_by(f64::total_cmp);
+        for &t in &sorted {
+            if !(0.0..800.0).contains(&t) {
+                continue;
+            }
+            let linear = ends.iter().position(|&e| e > t).expect("t < horizon");
+            assert_eq!(tl.epoch_at(t, 0), linear, "cold lookup at t={t}");
+            assert_eq!(tl.epoch_at(t, hint), linear, "hinted lookup at t={t}");
+            hint = linear;
+        }
+    }
+
+    #[test]
+    fn grant_mask_matches_granted_bits() {
+        let (_, c, tl) = quick_timeline(1000.0, 9);
+        for e in 0..tl.num_epochs() {
+            for a in 0..c.num_assignments() {
+                for s in 0..13 {
+                    let mask = tl.grant_mask(e, a, s);
+                    assert_eq!(mask & READ_BIT != 0, tl.granted(e, a, s, Access::Read));
+                    assert_eq!(mask & WRITE_BIT != 0, tl.granted(e, a, s, Access::Write));
+                    assert_eq!(mask & !(READ_BIT | WRITE_BIT), 0, "only two bits defined");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_catalog_gets_per_assignment_grant_rows() {
+        let t = Topology::ring_with_chords(13, 3);
+        let density = quorum_core::analytic::ring_density(13, 0.96, 0.96);
+        let c = ObjectCatalog::paper_mix(13, 50).with_optimized_assignments(&density, 5, 0.2);
+        assert!(c.num_assignments() > c.num_classes());
+        let tl = FailureTimeline::build(&t, &c, &SimParams::quick(), 600.0, 5);
+        assert_eq!(tl.num_assignments(), c.num_assignments());
+        // Every profile's all-up row grants reads at every site (q_r is
+        // always reachable with the full network up).
+        for a in 0..c.num_assignments() {
+            for s in 0..13 {
+                assert!(tl.granted(0, a, s, Access::Read), "profile {a} site {s}");
+            }
+        }
+    }
+
+    #[test]
     fn observe_publishes_epochs_and_transitions() {
-        let (_, _, tl) = quick_timeline(400.0, 11);
+        let (_, c, tl) = quick_timeline(400.0, 11);
         let reg = quorum_obs::Registry::new();
         tl.observe_into(&reg);
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(quorum_obs::keys::SHARD_EPOCHS),
             tl.num_epochs() as u64
+        );
+        assert_eq!(
+            snap.counter(quorum_obs::keys::SHARD_ASSIGNMENTS),
+            c.num_assignments() as u64
         );
         assert_eq!(
             snap.counter(quorum_obs::keys::DES_SITE_TRANSITIONS),
