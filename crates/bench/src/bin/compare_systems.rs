@@ -106,9 +106,9 @@ fn main() {
 
     let mut m = RunManifest::new("compare_systems", seed);
     m.params = manifest::sim_params_record(&params);
-    m.set_metric("alpha", alpha);
-    m.set_metric("load.vote-best-exact.f2", f2_load);
-    m.set_metric("load.vote-best-exact.f3", f3_load);
+    m.set_metric(keys::ALPHA, alpha);
+    m.set_metric(keys::LOAD_VOTE_BEST_EXACT_F2, f2_load);
+    m.set_metric(keys::LOAD_VOTE_BEST_EXACT_F3, f3_load);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut grid_load = f64::INFINITY;
@@ -140,7 +140,7 @@ fn main() {
 
         for sys in systems {
             let cert = {
-                let _t = registry.scoped_timer("algebra.certify");
+                let _t = registry.scoped_timer(keys::ALGEBRA_CERTIFY);
                 sys.certify()
             };
             registry.add(keys::ALGEBRA_SYSTEMS_EVALUATED, 1);
@@ -157,7 +157,7 @@ fn main() {
 
             let resilience = sys.resilience();
             let profile = {
-                let _t = registry.scoped_timer("algebra.optimize");
+                let _t = registry.scoped_timer(keys::ALGEBRA_OPTIMIZE);
                 optimize_load(&sys, alpha, iterations)
             };
             registry.add(keys::ALGEBRA_STRATEGY_ITERATIONS, profile.iterations);
@@ -172,7 +172,7 @@ fn main() {
                     threads,
                 },
                 &registry,
-                "algebra.simulate",
+                keys::ALGEBRA_SIMULATE,
                 || AlgebraProtocol::new(sys.clone()),
             );
             let acc = res.availability();
@@ -232,7 +232,7 @@ fn main() {
         "# structural beats votes: grid {grid_load:.4} < {f2_load:.4} (f>=2), \
          hier {hier_load:.4} < {f3_load:.4} (f>=3)"
     );
-    m.set_metric("structural_beats_votes", 1.0);
+    m.set_metric(keys::STRUCTURAL_BEATS_VOTES, 1.0);
 
     m.absorb_snapshot(&registry.snapshot());
     manifest::write_requested(&args, &m);

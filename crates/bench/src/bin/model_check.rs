@@ -127,7 +127,7 @@ fn main() {
     report.observe_into(&registry);
     let mut m = RunManifest::new("model_check", 0);
     m.votes = universe.votes.as_slice().to_vec();
-    m.set_metric("mc.ablate", f64::from(opts.mix_epoch_votes));
+    m.set_metric(quorum_obs::keys::MC_ABLATE, f64::from(opts.mix_epoch_votes));
     m.absorb_snapshot(&registry.snapshot());
     manifest::write_requested(&args, &m);
 }

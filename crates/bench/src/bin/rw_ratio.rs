@@ -36,7 +36,7 @@ fn main() {
     // run reports into one registry so the manifest covers the sweep.
     let registry = Registry::new();
     let runs = {
-        let _t = registry.scoped_timer("rw_ratio.simulations");
+        let _t = registry.scoped_timer(quorum_obs::keys::RW_RATIO_SIMULATIONS);
         let reg = &registry;
         let jobs: Vec<Box<dyn FnOnce() -> RunResults + Send + '_>> = scenarios
             .iter()
@@ -150,13 +150,13 @@ fn main() {
     );
     m.batches = m.counter(quorum_obs::keys::RUN_BATCHES);
     m.set_metric(
-        "rw_ratio.majority_end_attains_fraction",
+        quorum_obs::keys::RW_RATIO_MAJORITY_END_ATTAINS_FRACTION,
         majority_end_attains as f64 / cells as f64,
     );
     m.set_metric(
-        "rw_ratio.strict_majority_argmax",
+        quorum_obs::keys::RW_RATIO_STRICT_MAJORITY_ARGMAX,
         strict_majority_argmax as f64,
     );
-    m.set_metric("rw_ratio.dense_topology_max_delta", worst);
+    m.set_metric(quorum_obs::keys::RW_RATIO_DENSE_TOPOLOGY_MAX_DELTA, worst);
     manifest::write_requested(&args, &m);
 }

@@ -84,7 +84,7 @@ fn main() {
         );
     }
     let timeline = {
-        let _t = registry.scoped_timer("phase.timeline_build");
+        let _t = registry.scoped_timer(keys::PHASE_TIMELINE_BUILD);
         FailureTimeline::build(&topology, &catalog, &params, horizon, seed)
     };
     println!(
@@ -98,7 +98,7 @@ fn main() {
 
     let batched_started = Instant::now();
     let (stats, conv) = {
-        let _t = registry.scoped_timer("phase.batched_run");
+        let _t = registry.scoped_timer(keys::PHASE_BATCHED_RUN);
         engine.run_sharded(shards, threads)
     };
     let batched_secs = batched_started.elapsed().as_secs_f64();
@@ -109,7 +109,7 @@ fn main() {
     } else {
         let naive_started = Instant::now();
         let naive_stats = {
-            let _t = registry.scoped_timer("phase.naive_run");
+            let _t = registry.scoped_timer(keys::PHASE_NAIVE_RUN);
             engine.run_naive()
         };
         let naive_secs = naive_started.elapsed().as_secs_f64();
@@ -160,22 +160,22 @@ fn main() {
     stats.observe_into(&registry);
     timeline.observe_into(&registry);
     registry.set_gauge(keys::SHARD_SHARDS, shards as f64);
-    registry.set_gauge("shard.threads", threads as f64);
-    registry.set_gauge("shard.thread_utilization", conv.utilization());
+    registry.set_gauge(keys::SHARD_THREADS, threads as f64);
+    registry.set_gauge(keys::SHARD_THREAD_UTILIZATION, conv.utilization());
 
     let mut m = RunManifest::new("shard_throughput", seed);
     m.params = manifest::sim_params_record(&params);
     m.topology = manifest::topology_record(&label, args.get_or("chords", 0), &topology);
     m.batches = conv.batches;
     m.absorb_snapshot(&registry.snapshot());
-    m.set_metric("accesses_per_sec", accesses_per_sec);
-    m.set_metric("batched_wall_secs", batched_secs);
-    m.set_metric("availability", stats.availability());
-    m.set_metric("horizon", horizon);
+    m.set_metric(keys::ACCESSES_PER_SEC, accesses_per_sec);
+    m.set_metric(keys::BATCHED_WALL_SECS, batched_secs);
+    m.set_metric(keys::AVAILABILITY, stats.availability());
+    m.set_metric(keys::HORIZON, horizon);
     if let Some((naive_aps, naive_secs)) = naive {
-        m.set_metric("naive_accesses_per_sec", naive_aps);
-        m.set_metric("naive_wall_secs", naive_secs);
-        m.set_metric("speedup_vs_naive", accesses_per_sec / naive_aps);
+        m.set_metric(keys::NAIVE_ACCESSES_PER_SEC, naive_aps);
+        m.set_metric(keys::NAIVE_WALL_SECS, naive_secs);
+        m.set_metric(keys::SPEEDUP_VS_NAIVE, accesses_per_sec / naive_aps);
     }
     manifest::write_requested(&args, &m);
 }

@@ -72,11 +72,17 @@ pub fn manifest_for_run(
     m.batches = results.batches;
     m.ci_trace = results.ci_trace.clone();
     m.absorb_snapshot(&registry.snapshot());
-    m.set_metric("availability", results.availability());
-    m.set_metric("read_availability", results.combined.read_availability());
-    m.set_metric("write_availability", results.combined.write_availability());
+    m.set_metric(quorum_obs::keys::AVAILABILITY, results.availability());
+    m.set_metric(
+        quorum_obs::keys::READ_AVAILABILITY,
+        results.combined.read_availability(),
+    );
+    m.set_metric(
+        quorum_obs::keys::WRITE_AVAILABILITY,
+        results.combined.write_availability(),
+    );
     if let Some(ci) = results.interval() {
-        m.set_metric("ci_half_width", ci.half_width);
+        m.set_metric(quorum_obs::keys::CI_HALF_WIDTH, ci.half_width);
     }
     m
 }

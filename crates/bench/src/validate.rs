@@ -94,7 +94,7 @@ pub fn run(opts: &ValidateOpts) -> ValidateReport {
 
     // Reference: one histogram run → curve family.
     let reference = {
-        let _t = registry.scoped_timer("validate.reference");
+        let _t = registry.scoped_timer(keys::VALIDATE_REFERENCE);
         run_static_observed(
             &topo,
             votes.clone(),
@@ -114,7 +114,7 @@ pub fn run(opts: &ValidateOpts) -> ValidateReport {
     // share the registry (its counters are atomic), so the manifest totals
     // cover the entire sweep.
     let raw_cells = {
-        let _t = registry.scoped_timer("validate.grid");
+        let _t = registry.scoped_timer(keys::VALIDATE_GRID);
         let topo_ref = &topo;
         let reg = &registry;
         let params = opts.params;
@@ -163,8 +163,8 @@ pub fn run(opts: &ValidateOpts) -> ValidateReport {
 
     let reference_half_width = reference.interval().map(|ci| ci.half_width).unwrap_or(0.0);
     let mut manifest = manifest(&sc, opts, &votes, &reference, &registry);
-    manifest.set_metric("validate.worst_delta", worst);
-    manifest.set_metric("validate.reference_half_width", reference_half_width);
+    manifest.set_metric(keys::VALIDATE_WORST_DELTA, worst);
+    manifest.set_metric(keys::VALIDATE_REFERENCE_HALF_WIDTH, reference_half_width);
 
     ValidateReport {
         cells,

@@ -85,34 +85,36 @@ impl ClusterRunResults {
     pub fn fill_manifest(&self, manifest: &mut RunManifest) {
         manifest.batches = self.batches;
         manifest.ci_trace = self.ci_trace.clone();
-        manifest.set_metric("cluster.availability", self.availability());
+        manifest.set_metric(keys::CLUSTER_AVAILABILITY, self.availability());
         manifest.set_metric(
-            "cluster.read_availability",
+            keys::CLUSTER_READ_AVAILABILITY,
             self.combined.read_availability(),
         );
         manifest.set_metric(
-            "cluster.write_availability",
+            keys::CLUSTER_WRITE_AVAILABILITY,
             self.combined.write_availability(),
         );
-        manifest.set_metric("cluster.goodput", self.combined.goodput());
+        manifest.set_metric(keys::CLUSTER_GOODPUT, self.combined.goodput());
         manifest.set_metric(
-            "cluster.read_latency_mean",
+            keys::CLUSTER_READ_LATENCY_MEAN,
             self.combined.read_latency.mean(),
         );
         manifest.set_metric(
-            "cluster.write_latency_mean",
+            keys::CLUSTER_WRITE_LATENCY_MEAN,
             self.combined.write_latency.mean(),
         );
         if let Some(ci) = self.interval() {
-            manifest.set_metric("cluster.ci_half_width", ci.half_width);
+            manifest.set_metric(keys::CLUSTER_CI_HALF_WIDTH, ci.half_width);
         }
-        manifest
-            .histograms
-            .push(self.combined.read_latency.to_record("cluster.read_latency"));
+        manifest.histograms.push(
+            self.combined
+                .read_latency
+                .to_record(keys::CLUSTER_READ_LATENCY),
+        );
         manifest.histograms.push(
             self.combined
                 .write_latency
-                .to_record("cluster.write_latency"),
+                .to_record(keys::CLUSTER_WRITE_LATENCY),
         );
     }
 }
@@ -132,7 +134,7 @@ pub fn run_cluster_observed(
     opts: RunOptions,
     registry: &Registry,
 ) -> ClusterRunResults {
-    let _timer = registry.scoped_timer("cluster.run");
+    let _timer = registry.scoped_timer(keys::CLUSTER_RUN);
     let mut combined = ClusterStats::new(&config.latency_bounds);
 
     let conv = converge(
@@ -151,13 +153,13 @@ pub fn run_cluster_observed(
         ClusterStats::availability,
         |_, stats, elapsed| {
             combined.merge(&stats);
-            registry.record_duration("cluster.batch", elapsed);
+            registry.record_duration(keys::CLUSTER_BATCH, elapsed);
         },
     );
 
     registry.add(keys::RUN_BATCHES, conv.batches);
     registry.set_gauge(keys::RUN_THREADS, opts.threads.max(1) as f64);
-    registry.set_gauge("cluster.thread_utilization", conv.utilization());
+    registry.set_gauge(keys::CLUSTER_THREAD_UTILIZATION, conv.utilization());
     combined.observe_into(registry);
     ClusterRunResults {
         batches: conv.batches,
@@ -227,7 +229,7 @@ mod tests {
         res.fill_manifest(&mut manifest);
         manifest.absorb_snapshot(&registry.snapshot());
         assert_eq!(manifest.histograms.len(), 2);
-        assert!(manifest.metrics.contains_key("cluster.availability"));
+        assert!(manifest.metrics.contains_key(keys::CLUSTER_AVAILABILITY));
         // The registry snapshot is the single owner of counters, so the
         // manifest carries every total exactly once.
         assert_eq!(

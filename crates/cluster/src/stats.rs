@@ -326,7 +326,7 @@ mod tests {
         assert_eq!(h.counts(), &[1, 2, 1]);
         assert_eq!(h.observations(), 4);
         assert!((h.mean() - (0.05 + 0.2 + 0.3 + 9.0) / 4.0).abs() < 1e-12);
-        let rec = h.to_record("cluster.read_latency");
+        let rec = h.to_record(keys::CLUSTER_READ_LATENCY);
         assert_eq!(rec.observations(), 4);
         assert_eq!(rec.counts.len(), rec.bounds.len() + 1);
     }

@@ -327,7 +327,7 @@ impl<E> CalendarQueue<E> {
     /// registry under the [`quorum_obs::keys`] DES names.
     pub fn observe_into(&self, registry: &quorum_obs::Registry) {
         registry.add(quorum_obs::keys::DES_EVENTS, self.popped);
-        registry.add("des.events_scheduled", self.next_seq);
+        registry.add(quorum_obs::keys::DES_EVENTS_SCHEDULED, self.next_seq);
         registry.add(quorum_obs::keys::DES_QUEUE_COMPACTIONS, self.compactions);
         registry.set_gauge(
             quorum_obs::keys::DES_QUEUE_TOMBSTONES,

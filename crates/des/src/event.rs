@@ -243,7 +243,7 @@ impl<E> EventQueue<E> {
     /// registry under the [`quorum_obs::keys`] DES names.
     pub fn observe_into(&self, registry: &quorum_obs::Registry) {
         registry.add(quorum_obs::keys::DES_EVENTS, self.popped);
-        registry.add("des.events_scheduled", self.next_seq);
+        registry.add(quorum_obs::keys::DES_EVENTS_SCHEDULED, self.next_seq);
         registry.add(quorum_obs::keys::DES_QUEUE_COMPACTIONS, self.compactions);
         registry.set_gauge(
             quorum_obs::keys::DES_QUEUE_TOMBSTONES,
@@ -326,7 +326,7 @@ mod tests {
         q.observe_into(&r);
         let snap = r.snapshot();
         assert_eq!(snap.counter(quorum_obs::keys::DES_EVENTS), 2);
-        assert_eq!(snap.counter("des.events_scheduled"), 5);
+        assert_eq!(snap.counter(quorum_obs::keys::DES_EVENTS_SCHEDULED), 5);
     }
 
     #[test]

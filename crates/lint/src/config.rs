@@ -54,6 +54,20 @@ pub struct RuleConfig {
     /// *declarations* in scoped paths, not just iteration sites, so
     /// membership-only uses need an explicit allowlisted justification.
     pub forbid_types: bool,
+    /// `obs-key-registry`: workspace-relative path of the key registry
+    /// file (empty = `crates/obs/src/keys.rs`).
+    pub registry: String,
+    /// `scheduler-discipline`: type names whose impl blocks the rule
+    /// polices (e.g. `ProtocolCore`).
+    pub impls: Vec<String>,
+    /// `scheduler-discipline`: identifiers forbidden inside the policed
+    /// impl blocks (empty = `EventQueue`, `Instant`, `SystemTime`).
+    pub forbid: Vec<String>,
+    /// `no-panic-hot-path`: path prefixes where slice/`Vec` *indexing*
+    /// is also flagged, not just the panic family. Indexing enforcement
+    /// is opt-in per module because slab-style kernels maintain their
+    /// own index invariants and would need one brittle anchor per line.
+    pub index_paths: Vec<String>,
 }
 
 /// The parsed `lint.toml`.
@@ -178,6 +192,10 @@ impl Config {
                         "roots" => rc.roots = value.strings(key)?,
                         "include_tests" => rc.include_tests = value.boolean(key)?,
                         "forbid_types" => rc.forbid_types = value.boolean(key)?,
+                        "registry" => rc.registry = value.string(key)?,
+                        "impls" => rc.impls = value.strings(key)?,
+                        "forbid" => rc.forbid = value.strings(key)?,
+                        "index_paths" => rc.index_paths = value.strings(key)?,
                         _ => {
                             return Err(format!(
                                 "line {lineno}: unknown key `{key}` for rule `{rule}`"
@@ -420,6 +438,33 @@ roots = [
         assert_eq!(
             cfg.rule("forbid-unsafe").roots,
             vec!["crates/*/src/lib.rs", "tests/*.rs"]
+        );
+    }
+
+    #[test]
+    fn semantic_rule_keys_parse() {
+        let text = r#"
+[rules.obs-key-registry]
+registry = "crates/obs/src/keys.rs"
+
+[rules.scheduler-discipline]
+impls = ["ProtocolCore"]
+forbid = ["EventQueue", "Instant", "SystemTime"]
+
+[rules.no-panic-hot-path]
+paths = ["crates/shard/src/engine.rs", "crates/graph/src/delta.rs"]
+index_paths = ["crates/shard/src/engine.rs"]
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(
+            cfg.rule("obs-key-registry").registry,
+            "crates/obs/src/keys.rs"
+        );
+        assert_eq!(cfg.rule("scheduler-discipline").impls, vec!["ProtocolCore"]);
+        assert_eq!(cfg.rule("scheduler-discipline").forbid.len(), 3);
+        assert_eq!(
+            cfg.rule("no-panic-hot-path").index_paths,
+            vec!["crates/shard/src/engine.rs"]
         );
     }
 

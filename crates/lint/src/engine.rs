@@ -1,6 +1,8 @@
 //! Workspace walking, allowlist application, and report assembly.
 
 use crate::config::{AllowEntry, Config};
+use crate::model::{obs_key_registry, WorkspaceModel};
+use crate::parser::FileModel;
 use crate::rules::{check_file, Finding, SourceFile};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,6 +33,18 @@ impl Outcome {
             0
         }
     }
+
+    /// Exit code for `--check-anchors`: the self-audit cares only about
+    /// allowlist health, so findings are ignored and stale anchors get
+    /// their own distinct code (3) so CI can tell "code regressed" (1)
+    /// from "the allowlist no longer describes the code" (3).
+    pub fn anchor_audit_code(&self) -> i32 {
+        if self.stale.is_empty() {
+            0
+        } else {
+            3
+        }
+    }
 }
 
 /// Lints the workspace rooted at `root` under `config`.
@@ -39,6 +53,43 @@ impl Outcome {
 /// `examples`, `tests`), skipping `exclude` prefixes, `target`, and
 /// `third_party` (vendored stubs are not this workspace's code).
 pub fn run(root: &Path, config: &Config) -> Result<Outcome, String> {
+    let parsed = parse_workspace(root, config)?;
+    Ok(check_parsed(&parsed, config))
+}
+
+/// Runs per-file rules and the cross-file workspace pass over parsed
+/// files, then applies the allowlist.
+fn check_parsed(parsed: &[(SourceFile, FileModel)], config: &Config) -> Outcome {
+    let mut findings = Vec::new();
+    for (file, model) in parsed {
+        check_file(file, model, config, &mut findings);
+    }
+    let ws = WorkspaceModel::new(parsed);
+    obs_key_registry(&ws, &config.rule("obs-key-registry"), &mut findings);
+    findings.sort();
+    findings.dedup();
+    apply_allowlist(findings, &config.allow, parsed.len())
+}
+
+/// Parses in-memory sources into the workspace model without running
+/// rules; `--emit-keys-json` and tests share this entry point.
+pub fn parse_sources(sources: &[(&str, &str)]) -> Vec<(SourceFile, FileModel)> {
+    sources
+        .iter()
+        .map(|(path, src)| {
+            let file = SourceFile::new(path, src);
+            let model = FileModel::build(&file);
+            (file, model)
+        })
+        .collect()
+}
+
+/// Parses the on-disk workspace into the model without running rules
+/// (also the first half of [`run`]; `--emit-keys-json` stops here).
+pub fn parse_workspace(
+    root: &Path,
+    config: &Config,
+) -> Result<Vec<(SourceFile, FileModel)>, String> {
     let mut files = Vec::new();
     for inc in config.include_or_default() {
         let dir = root.join(&inc);
@@ -49,9 +100,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Outcome, String> {
     }
     // Deterministic order regardless of readdir order.
     files.sort();
-
-    let mut findings = Vec::new();
-    let mut checked = 0usize;
+    let mut parsed = Vec::new();
     for path in &files {
         let rel = relative(root, path);
         if is_excluded(&rel, config) {
@@ -59,29 +108,22 @@ pub fn run(root: &Path, config: &Config) -> Result<Outcome, String> {
         }
         let src = fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
         let file = SourceFile::new(&rel, &src);
-        check_file(&file, config, &mut findings);
-        checked += 1;
+        let model = FileModel::build(&file);
+        parsed.push((file, model));
     }
-    findings.sort();
-    findings.dedup();
-
-    Ok(apply_allowlist(findings, &config.allow, checked))
+    Ok(parsed)
 }
 
 /// Lints in-memory sources (path → contents); the fixture harness and
 /// unit tests drive the exact engine CI runs, filesystem aside.
 pub fn run_sources(sources: &[(&str, &str)], config: &Config) -> Outcome {
-    let mut findings = Vec::new();
-    for (path, src) in sources {
-        if is_excluded(path, config) {
-            continue;
-        }
-        let file = SourceFile::new(path, src);
-        check_file(&file, config, &mut findings);
-    }
-    findings.sort();
-    findings.dedup();
-    apply_allowlist(findings, &config.allow, sources.len())
+    let kept: Vec<(&str, &str)> = sources
+        .iter()
+        .filter(|(path, _)| !is_excluded(path, config))
+        .copied()
+        .collect();
+    let parsed = parse_sources(&kept);
+    check_parsed(&parsed, config)
 }
 
 fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry], files: usize) -> Outcome {

@@ -19,7 +19,10 @@ pub enum TokKind {
     /// Punctuation. Multi-char operators the rules match on (`::`, `==`,
     /// `!=`) are fused into one token; everything else is single-char.
     Punct,
-    /// String literal (normal, raw, byte, or byte-raw), content dropped.
+    /// String literal (normal, raw, byte, or byte-raw). The token text
+    /// is the literal's *inner* content (delimiters and any `r#`/`b`
+    /// prefix stripped, escape sequences left undecoded) so the
+    /// obs-key-registry rule can read metric keys out of call sites.
     Str,
     /// Character or byte literal.
     Char,
@@ -37,9 +40,9 @@ pub enum TokKind {
 pub struct Tok {
     /// What kind of token this is.
     pub kind: TokKind,
-    /// The token text (empty for string literals — contents are
-    /// irrelevant to every rule and omitting them keeps match surfaces
-    /// out of literals by construction).
+    /// The token text. For string literals this is the inner content
+    /// (escapes undecoded); every ident/punct matcher is kind-gated, so
+    /// retaining it cannot leak literal contents into rule matches.
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: u32,
@@ -148,10 +151,22 @@ impl Lexer<'_> {
     fn string(&mut self) {
         let line = self.line;
         self.pos += 1;
+        let start = self.pos;
+        let mut end = self.bytes.len();
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                b'\\' => {
+                    // An escaped newline (line continuation) still ends a
+                    // physical line; missing it would drift every later
+                    // token's line number — and with them the allowlist
+                    // anchors.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 b'"' => {
+                    end = self.pos;
                     self.pos += 1;
                     break;
                 }
@@ -162,7 +177,8 @@ impl Lexer<'_> {
                 _ => self.pos += 1,
             }
         }
-        self.push(TokKind::Str, String::new(), line);
+        let text = self.src[start..end.min(self.src.len())].to_string();
+        self.push(TokKind::Str, text, line);
     }
 
     /// Consumes `r"..."` / `r#"..."#` (any `#` depth). `pos` is at the
@@ -175,6 +191,8 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         self.pos += 1; // opening quote
+        let start = self.pos.min(self.bytes.len());
+        let mut end = self.bytes.len();
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'\n' {
                 self.line += 1;
@@ -190,13 +208,15 @@ impl Lexer<'_> {
                     }
                 }
                 if ok {
+                    end = self.pos;
                     self.pos += 1 + hashes;
                     break;
                 }
             }
             self.pos += 1;
         }
-        self.push(TokKind::Str, String::new(), line);
+        let text = self.src[start..end.min(self.src.len())].to_string();
+        self.push(TokKind::Str, text, line);
     }
 
     /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
@@ -312,11 +332,37 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         let text = &self.src[start..self.pos];
-        // Raw/byte string and byte-char prefixes.
+        // Raw/byte string and byte-char prefixes. An `r#`/`br#` prefix is
+        // only a raw string if a `"` follows the hashes — `r#type` is a
+        // raw *identifier*, and treating it as a string would swallow the
+        // rest of the file hunting for a closing `"#`.
         let next = self.peek(0);
         match (text, next) {
-            ("r" | "br" | "b" | "rb", Some(b'"')) | ("r" | "br" | "rb", Some(b'#')) => {
+            ("r" | "br" | "b" | "rb", Some(b'"')) => {
                 self.raw_or_plain_string(text);
+                return;
+            }
+            ("r" | "br" | "rb", Some(b'#')) => {
+                let mut ahead = 0usize;
+                while self.peek(ahead) == Some(b'#') {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'"') {
+                    self.raw_or_plain_string(text);
+                    return;
+                }
+                // Raw identifier: consume the `#` and lex the name; the
+                // token is the bare identifier (`r#type` ⇒ `type`).
+                self.pos += 1;
+                let name_start = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                let name = self.src[name_start..self.pos].to_string();
+                self.push(TokKind::Ident, name, line);
                 return;
             }
             ("b", Some(b'\'')) => {
@@ -549,6 +595,81 @@ mod tests {
             .map(|(_, &m)| m)
             .collect();
         assert_eq!(nows, vec![true, false]);
+    }
+
+    fn strs(src: &str) -> Vec<(String, u32)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| (t.text, t.line))
+            .collect()
+    }
+
+    #[test]
+    fn string_contents_are_retained() {
+        let src = r#"let k = "des.events_processed"; let e = "a\"b\\c";"#;
+        let s = strs(src);
+        assert_eq!(s[0].0, "des.events_processed");
+        // Escapes stay undecoded; the delimiters and both escaped bytes
+        // are inside the content.
+        assert_eq!(s[1].0, r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn raw_string_contents_exclude_delimiters() {
+        let src = r###"
+            let a = r"plain raw";
+            let b = r#"one "quoted" hash"#;
+            let c = r##"nested "# inside"##;
+            let d = br#"bytes"#;
+        "###;
+        let s = strs(src);
+        assert_eq!(s[0].0, "plain raw");
+        assert_eq!(s[1].0, r#"one "quoted" hash"#);
+        assert_eq!(s[2].0, r##"nested "# inside"##);
+        assert_eq!(s[3].0, "bytes");
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        // Pre-fix, `r#type` entered the raw-string scanner and swallowed
+        // everything up to the next `"#`, hiding the Instant::now.
+        let src = "let r#type = 1;\nlet t = Instant::now();\nlet s = \"key\";";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        let inst = toks.iter().find(|t| t.is_ident("Instant")).unwrap();
+        assert_eq!(inst.line, 2);
+        assert_eq!(strs(src), vec![("key".to_string(), 3)]);
+    }
+
+    #[test]
+    fn escaped_newline_still_counts_the_line() {
+        // A line-continuation escape ends a physical line; losing it
+        // drifts every later allowlist anchor by one.
+        let src = "let s = \"a\\\n b\";\nfn f() {}";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_balance_and_count_lines() {
+        let src =
+            "/* outer /* inner\n */ still\ncomment */ fn after() {}\n/*/ tricky */ fn tail() {}";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+        // `/*/` opens a comment whose `/` cannot double as a closer.
+        let tail = toks.iter().find(|t| t.is_ident("tail")).unwrap();
+        assert_eq!(tail.line, 4);
+        assert!(!toks.iter().any(|t| t.is_ident("inner")));
+        assert!(!toks.iter().any(|t| t.is_ident("tricky")));
+    }
+
+    #[test]
+    fn string_adjacent_to_comment_keeps_content_boundaries() {
+        let src = "/* c */ let k = \"graph.delta_merges\"; // tail \"not a string\"";
+        assert_eq!(strs(src), vec![("graph.delta_merges".to_string(), 1)]);
     }
 
     #[test]

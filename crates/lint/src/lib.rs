@@ -11,10 +11,15 @@
 //! `quorum-lint` checks the properties themselves on every build, so
 //! they survive refactors instead of living as tribal knowledge.
 //!
-//! The pass is token-level (a small purpose-built lexer in [`lexer`] —
-//! the offline build environment has no `syn`), which is exactly enough:
-//! each rule in [`rules`] is a token-sequence property, and the lexer
-//! guarantees matches never come from comments or string literals.
+//! The pass is built on a small purpose-built lexer in [`lexer`] (the
+//! offline build environment has no `syn`). Per-file rules in [`rules`]
+//! are token-sequence properties; on top of the token stream, [`parser`]
+//! resolves a per-file item model (modules, fns, impl blocks, emission
+//! sites, key constants) and [`model`] links those into one
+//! workspace-wide symbol table for cross-file rules such as
+//! `obs-key-registry`. The lexer guarantees matches never come from
+//! comments, and string-literal *content* is kept out of identifier
+//! matching by construction.
 //!
 //! Configuration lives in the repo-root `lint.toml` ([`config`]):
 //! per-rule path scoping plus a `file:line`-anchored allowlist where
@@ -28,8 +33,9 @@
 //! cargo run -p quorum-lint
 //! ```
 //!
-//! Findings print as `file:line: rule-id: message`; exit codes are
-//! 0 (clean), 1 (findings), 2 (stale allowlist or config error).
+//! Findings print as `file:line: rule-id: message` (or SARIF/JSON via
+//! `--format`); exit codes are 0 (clean), 1 (findings), 2 (stale
+//! allowlist or config error), 3 (`--check-anchors` audit failure).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,8 +43,13 @@
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod report;
 pub mod rules;
 
 pub use config::{AllowEntry, Config};
 pub use engine::{run, run_sources, Outcome};
+pub use model::WorkspaceModel;
+pub use parser::FileModel;
 pub use rules::{Finding, RULE_IDS};

@@ -1,12 +1,31 @@
 //! The `quorum-lint` binary: lints the workspace against `lint.toml`.
 //!
-//! Usage: `quorum-lint [--root DIR] [--config FILE]`. Defaults to the
-//! current directory and `<root>/lint.toml`. Exit codes: 0 clean,
-//! 1 findings, 2 stale allowlist or configuration error.
+//! Usage:
+//!
+//! ```text
+//! quorum-lint [--root DIR] [--config FILE] [--format text|json|sarif]
+//!             [--emit-keys-json] [--check-anchors]
+//! ```
+//!
+//! Defaults to the current directory and `<root>/lint.toml`.
+//!
+//! * `--format json|sarif` renders the findings for machines (SARIF
+//!   2.1.0 uploads as a CI artifact); the summary line still goes to
+//!   stderr so pipelines can redirect stdout wholesale.
+//! * `--emit-keys-json` skips linting and prints the metric-key
+//!   registry (`crates/obs/src/keys.rs`) as JSON, so CI can diff the
+//!   keys its jq gates grep for against the declared schema.
+//! * `--check-anchors` is the allowlist self-audit: it reports only
+//!   stale `file:line` anchors and exits 3 if any drifted, 0 otherwise
+//!   (findings are ignored — that's the normal run's job).
+//!
+//! Exit codes: 0 clean, 1 findings, 2 stale allowlist or configuration
+//! error, 3 anchor-audit failure (under `--check-anchors` only).
 
 #![forbid(unsafe_code)]
 
-use quorum_lint::{engine, Config};
+use quorum_lint::report::{render, Format};
+use quorum_lint::{engine, model, Config, WorkspaceModel};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,6 +42,9 @@ fn main() -> ExitCode {
 fn try_main() -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut emit_keys = false;
+    let mut check_anchors = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,8 +54,16 @@ fn try_main() -> Result<ExitCode, String> {
             "--config" => {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config needs a file")?));
             }
+            "--format" => {
+                format = Format::parse(&args.next().ok_or("--format needs text|json|sarif")?)?;
+            }
+            "--emit-keys-json" => emit_keys = true,
+            "--check-anchors" => check_anchors = true,
             "--help" | "-h" => {
-                println!("usage: quorum-lint [--root DIR] [--config FILE]");
+                println!(
+                    "usage: quorum-lint [--root DIR] [--config FILE] \
+                     [--format text|json|sarif] [--emit-keys-json] [--check-anchors]"
+                );
                 return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -44,12 +74,42 @@ fn try_main() -> Result<ExitCode, String> {
         .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
     let config = Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?;
 
-    let outcome = engine::run(&root, &config)?;
-    for f in &outcome.findings {
-        println!("{f}");
+    if emit_keys {
+        let parsed = engine::parse_workspace(&root, &config)?;
+        let ws = WorkspaceModel::new(&parsed);
+        print!(
+            "{}",
+            model::keys_json(&ws, &config.rule("obs-key-registry"))
+        );
+        return Ok(ExitCode::SUCCESS);
     }
-    for entry in &outcome.stale {
-        eprintln!("quorum-lint: stale allowlist entry (no finding matched its anchor): {entry}");
+
+    let outcome = engine::run(&root, &config)?;
+
+    if check_anchors {
+        for entry in &outcome.stale {
+            println!("drifted anchor: {entry}");
+        }
+        eprintln!(
+            "quorum-lint: anchor audit: {} allowlist entries, {} stale",
+            config.allow.len(),
+            outcome.stale.len()
+        );
+        return Ok(ExitCode::from(outcome.anchor_audit_code() as u8));
+    }
+
+    match format {
+        Format::Text => {
+            for f in &outcome.findings {
+                println!("{f}");
+            }
+            for entry in &outcome.stale {
+                eprintln!(
+                    "quorum-lint: stale allowlist entry (no finding matched its anchor): {entry}"
+                );
+            }
+        }
+        machine => print!("{}", render(&outcome, machine)),
     }
     eprintln!(
         "quorum-lint: {} files checked, {} finding(s), {} suppressed by allowlist, {} stale",

@@ -1,0 +1,399 @@
+//! The workspace semantic model: every file's [`FileModel`] linked
+//! into one symbol table, plus the cross-file `obs-key-registry` rule
+//! that runs over it.
+
+use crate::config::RuleConfig;
+use crate::lexer::TokKind;
+use crate::parser::{EmitArg, FileModel, KeyConst};
+use crate::rules::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default registry path when `[rules.obs-key-registry]` does not set
+/// one.
+pub const DEFAULT_REGISTRY: &str = "crates/obs/src/keys.rs";
+
+/// The workspace-wide symbol table: one `(lexed file, file model)` pair
+/// per checked file, in deterministic path order.
+pub struct WorkspaceModel<'a> {
+    /// The modeled files.
+    pub files: &'a [(SourceFile, FileModel)],
+}
+
+impl<'a> WorkspaceModel<'a> {
+    /// Wraps the engine's parsed files.
+    pub fn new(files: &'a [(SourceFile, FileModel)]) -> Self {
+        Self { files }
+    }
+
+    /// The registry file's declared key constants (empty if the
+    /// registry file is not part of this run).
+    pub fn declared_keys(&self, registry: &str) -> Vec<&KeyConst> {
+        self.files
+            .iter()
+            .filter(|(f, _)| f.path == registry)
+            .flat_map(|(_, m)| m.key_consts.iter())
+            .collect()
+    }
+
+    /// Every identifier referenced anywhere outside `registry` (tests
+    /// included — a key emitted only under test coverage still counts
+    /// as live). Used for declared-but-never-emitted detection, which
+    /// must also see constants passed *indirectly* (e.g. a phase-label
+    /// argument forwarded to `scoped_timer`).
+    pub fn referenced_idents(&self, registry: &str) -> BTreeSet<&str> {
+        self.files
+            .iter()
+            .filter(|(f, _)| f.path != registry)
+            .flat_map(|(f, _)| f.toks.iter())
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+}
+
+/// `obs-key-registry`: `crates/obs/src/keys.rs` is the single declared
+/// schema of every metric key.
+///
+/// Emitted-but-undeclared and declared-but-never-referenced both fail:
+/// * every key argument at an emission site must be a reference to a
+///   declared constant — raw string literals are flagged whether or not
+///   their text happens to match a declared key, because two spellings
+///   of one schema is exactly the drift this rule exists to stop;
+/// * a constant reference that resolves to no declared key is flagged
+///   at the call site;
+/// * a declared constant never referenced anywhere else in the
+///   workspace is flagged at its declaration — dead schema;
+/// * two constants declaring the same key string are flagged at the
+///   second declaration.
+///
+/// Dynamic keys (`format!`-built, variables) are invisible to the model
+/// by design; CI's jq cross-check of `--emit-keys-json` covers the
+/// static gate keys, which is the contract that must not drift.
+pub fn obs_key_registry(model: &WorkspaceModel<'_>, rc: &RuleConfig, out: &mut Vec<Finding>) {
+    const RULE: &str = "obs-key-registry";
+    let registry = if rc.registry.is_empty() {
+        DEFAULT_REGISTRY
+    } else {
+        rc.registry.as_str()
+    };
+    let declared = model.declared_keys(registry);
+    let by_name: BTreeMap<&str, &KeyConst> =
+        declared.iter().map(|k| (k.name.as_str(), *k)).collect();
+    let by_value: BTreeMap<&str, &KeyConst> = declared
+        .iter()
+        .rev() // first declaration wins the map slot
+        .map(|k| (k.value.as_str(), *k))
+        .collect();
+
+    // Duplicate key values: flag every declaration after the first.
+    let mut seen_values: BTreeMap<&str, &KeyConst> = BTreeMap::new();
+    for k in &declared {
+        if let Some(first) = seen_values.get(k.value.as_str()) {
+            out.push(Finding {
+                file: registry.to_string(),
+                line: k.line,
+                rule: RULE,
+                message: format!(
+                    "`{}` re-declares key \"{}\" already declared by `{}` (line {}); \
+                     one key, one constant",
+                    k.name, k.value, first.name, first.line
+                ),
+            });
+        } else {
+            seen_values.insert(k.value.as_str(), k);
+        }
+    }
+
+    // Emission sites: literals and unresolved constant references.
+    for (file, fm) in model.files {
+        if file.path == registry || !in_scope(&file.path, rc) {
+            continue;
+        }
+        for e in &fm.emits {
+            if !rc.include_tests && file.tests[e.tok_index] {
+                continue;
+            }
+            match &e.arg {
+                EmitArg::Literal(key) => {
+                    let message = match by_value.get(key.as_str()) {
+                        Some(k) => format!(
+                            "`.{}(\"{}\")` spells a declared key as a raw literal; \
+                             reference `quorum_obs::keys::{}` so the registry stays \
+                             the single schema",
+                            e.method, key, k.name
+                        ),
+                        None => format!(
+                            "`.{}(\"{}\")` emits a key not declared in {registry}; \
+                             declare a constant there and reference it",
+                            e.method, key
+                        ),
+                    };
+                    out.push(Finding {
+                        file: file.path.clone(),
+                        line: e.line,
+                        rule: RULE,
+                        message,
+                    });
+                }
+                EmitArg::ConstRef(name) => {
+                    if !by_name.contains_key(name.as_str()) {
+                        out.push(Finding {
+                            file: file.path.clone(),
+                            line: e.line,
+                            rule: RULE,
+                            message: format!(
+                                "`.{}({})` references a key constant not declared \
+                                 in {registry}",
+                                e.method, name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Declared-but-never-referenced: dead schema entries. A raw literal
+    // spelling the key's value counts as a reference — that site is
+    // already flagged above, and one drift should produce one finding,
+    // not a second "dead key" report for a key that is clearly live.
+    let referenced = model.referenced_idents(registry);
+    let literal_values: BTreeSet<&str> = model
+        .files
+        .iter()
+        .filter(|(f, _)| f.path != registry)
+        .flat_map(|(_, m)| m.emits.iter())
+        .filter_map(|e| match &e.arg {
+            EmitArg::Literal(v) => Some(v.as_str()),
+            EmitArg::ConstRef(_) => None,
+        })
+        .collect();
+    for k in &declared {
+        if !referenced.contains(k.name.as_str()) && !literal_values.contains(k.value.as_str()) {
+            out.push(Finding {
+                file: registry.to_string(),
+                line: k.line,
+                rule: RULE,
+                message: format!(
+                    "declared key `{}` (\"{}\") is never referenced by any emitter; \
+                     delete it or wire up the emission",
+                    k.name, k.value
+                ),
+            });
+        }
+    }
+}
+
+fn in_scope(path: &str, rc: &RuleConfig) -> bool {
+    rc.paths.is_empty()
+        || rc
+            .paths
+            .iter()
+            .any(|p| path == *p || path.starts_with(&format!("{p}/")))
+}
+
+/// Renders the declared registry as JSON for `--emit-keys-json`:
+/// `{"registry": …, "count": N, "keys": [{name, value, line}…],
+/// "values": […]}` with `values` sorted for cheap jq containment
+/// checks.
+pub fn keys_json(model: &WorkspaceModel<'_>, rc: &RuleConfig) -> String {
+    let registry = if rc.registry.is_empty() {
+        DEFAULT_REGISTRY
+    } else {
+        rc.registry.as_str()
+    };
+    let declared = model.declared_keys(registry);
+    let mut values: Vec<&str> = declared.iter().map(|k| k.value.as_str()).collect();
+    values.sort_unstable();
+    values.dedup();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"registry\": {},\n", json_str(registry)));
+    s.push_str(&format!("  \"count\": {},\n", declared.len()));
+    s.push_str("  \"keys\": [\n");
+    for (i, k) in declared.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"value\": {}, \"line\": {}}}{}\n",
+            json_str(&k.name),
+            json_str(&k.value),
+            k.line,
+            if i + 1 < declared.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"values\": [");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(v));
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::FileModel;
+
+    fn parse(files: &[(&str, &str)]) -> Vec<(SourceFile, FileModel)> {
+        files
+            .iter()
+            .map(|(p, s)| {
+                let f = SourceFile::new(p, s);
+                let m = FileModel::build(&f);
+                (f, m)
+            })
+            .collect()
+    }
+
+    const REGISTRY: &str = r#"
+        pub const DES_EVENTS: &str = "des.events_processed";
+        pub const MC_STATES: &str = "mc.states_explored";
+        pub const DEAD_KEY: &str = "never.emitted";
+    "#;
+
+    fn rc() -> RuleConfig {
+        RuleConfig {
+            registry: "crates/obs/src/keys.rs".into(),
+            ..RuleConfig::default()
+        }
+    }
+
+    #[test]
+    fn bidirectional_coverage_is_enforced() {
+        let files = parse(&[
+            ("crates/obs/src/keys.rs", REGISTRY),
+            (
+                "crates/des/src/a.rs",
+                r#"
+                fn publish(r: &Registry) {
+                    r.add(keys::DES_EVENTS, 1);
+                    r.add("mc.states_explored", 2);
+                    r.add("des.unregistered", 3);
+                    r.counter(keys::NOT_DECLARED);
+                }
+                "#,
+            ),
+        ]);
+        let model = WorkspaceModel::new(&files);
+        let mut out = Vec::new();
+        obs_key_registry(&model, &rc(), &mut out);
+        out.sort();
+        let got: Vec<(&str, u32)> = out.iter().map(|f| (f.file.as_str(), f.line)).collect();
+        // literal-of-declared (line 4), undeclared literal (line 5),
+        // unresolved const ref (line 6), dead declaration (registry).
+        assert_eq!(
+            got,
+            vec![
+                ("crates/des/src/a.rs", 4),
+                ("crates/des/src/a.rs", 5),
+                ("crates/des/src/a.rs", 6),
+                ("crates/obs/src/keys.rs", 4),
+            ],
+            "{out:?}"
+        );
+        assert!(out[0].message.contains("DES_EVENTS") || out[0].message.contains("MC_STATES"));
+        assert!(out[3].message.contains("DEAD_KEY"));
+    }
+
+    #[test]
+    fn indirect_references_count_as_coverage() {
+        let files = parse(&[
+            ("crates/obs/src/keys.rs", REGISTRY),
+            (
+                "crates/replica/src/a.rs",
+                // All three keys referenced: two via emits, one passed
+                // as a plain argument (phase-label indirection).
+                r#"
+                fn run(r: &Registry) {
+                    r.add(keys::DES_EVENTS, 1);
+                    r.add(keys::MC_STATES, 1);
+                    run_with_phase(r, keys::DEAD_KEY);
+                }
+                "#,
+            ),
+        ]);
+        let model = WorkspaceModel::new(&files);
+        let mut out = Vec::new();
+        obs_key_registry(&model, &rc(), &mut out);
+        assert_eq!(out, vec![], "{out:?}");
+    }
+
+    #[test]
+    fn test_masked_emits_are_skipped_but_grant_coverage() {
+        let files = parse(&[
+            (
+                "crates/obs/src/keys.rs",
+                "pub const ONLY_TESTED: &str = \"only.tested\";",
+            ),
+            (
+                "crates/x/src/a.rs",
+                r#"
+                #[cfg(test)]
+                mod tests {
+                    fn t(r: &Registry) {
+                        r.add("raw.literal.in.test", 1);
+                        r.add(keys::ONLY_TESTED, 1);
+                    }
+                }
+                "#,
+            ),
+        ]);
+        let model = WorkspaceModel::new(&files);
+        let mut out = Vec::new();
+        obs_key_registry(&model, &rc(), &mut out);
+        assert_eq!(out, vec![], "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_key_values_are_flagged() {
+        let files = parse(&[(
+            "crates/obs/src/keys.rs",
+            "pub const A: &str = \"same.key\";\npub const B: &str = \"same.key\";",
+        )]);
+        let model = WorkspaceModel::new(&files);
+        let mut out = Vec::new();
+        obs_key_registry(&model, &rc(), &mut out);
+        let dup: Vec<_> = out
+            .iter()
+            .filter(|f| f.message.contains("re-declares"))
+            .collect();
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0].line, 2);
+    }
+
+    #[test]
+    fn keys_json_is_sorted_and_escaped() {
+        let files = parse(&[(
+            "crates/obs/src/keys.rs",
+            "pub const B: &str = \"b.key\";\npub const A: &str = \"a.key\";",
+        )]);
+        let model = WorkspaceModel::new(&files);
+        let json = keys_json(&model, &rc());
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"values\": [\"a.key\", \"b.key\"]"));
+        assert!(json.contains("\"name\": \"B\""));
+        assert_eq!(json_str("a\"b\\c"), r#""a\"b\\c""#);
+    }
+}

@@ -1,0 +1,479 @@
+//! Item-level parsing on top of the token stream: the per-file half of
+//! the workspace semantic model.
+//!
+//! The lexer gives exact tokens with exact lines; this module recovers
+//! the item structure the cross-file rules need — `mod`/`fn`/`impl`
+//! spans by brace matching, metric-emission call sites with their
+//! string-literal or `SCREAMING_CASE` constant arguments, `pub const
+//! NAME: &str = "…";` key declarations, and fixed-size array locals
+//! (whose indexing is structurally bounded). It is deliberately *not* a
+//! grammar-complete parser: every consumer is a lint rule that must
+//! degrade to "no findings" on code it cannot model, never crash.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::SourceFile;
+use std::collections::BTreeSet;
+
+/// What kind of item a [`Item`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// An inline `mod name { … }`.
+    Mod,
+    /// A `fn name(…) { … }` at any nesting depth.
+    Fn,
+    /// An `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl,
+}
+
+/// One parsed item with its token span (`[start, end]` inclusive, both
+/// indices into the file's token stream).
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// `mod`/`fn` name, or the impl's *type* name (`ProtocolCore` for
+    /// `impl<'a, S> ProtocolCore<'a, S>` and for
+    /// `impl Scheduler for ProtocolCore`).
+    pub name: String,
+    /// Trait name for trait impls (`Scheduler` in
+    /// `impl Scheduler for NetScheduler`), `None` otherwise.
+    pub trait_name: Option<String>,
+    /// Token-index span of the item including its body braces.
+    pub span: (usize, usize),
+    /// 1-based line of the item keyword.
+    pub line: u32,
+}
+
+/// How an emission site names its metric key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitArg {
+    /// A string literal: the raw key text.
+    Literal(String),
+    /// A path ending in a `SCREAMING_CASE` identifier — a reference to
+    /// a declared key constant (`keys::MC_STATES_EXPLORED`).
+    ConstRef(String),
+}
+
+/// One metric-emission call site: `.method("key", …)` or
+/// `.method(keys::CONST, …)` for a method in [`EMIT_METHODS`].
+#[derive(Debug, Clone)]
+pub struct EmitSite {
+    /// The method called (`counter`, `add`, `set_gauge`, …).
+    pub method: String,
+    /// How the key argument is spelled.
+    pub arg: EmitArg,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Token index of the method identifier (for test-mask lookup).
+    pub tok_index: usize,
+}
+
+/// One `const NAME: &str = "value";` declaration.
+#[derive(Debug, Clone)]
+pub struct KeyConst {
+    /// The constant's identifier.
+    pub name: String,
+    /// The declared key string.
+    pub value: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// Methods whose first argument names a metric key. Covers the
+/// `quorum_obs` Registry (`counter`/`add`/`set_gauge`/`scoped_timer`/
+/// `record_duration`), `RunManifest::set_metric`,
+/// `LatencyHistogram::to_record`, and the conventional `gauge`/
+/// `histogram` spellings so renamed emitters stay covered.
+pub const EMIT_METHODS: [&str; 9] = [
+    "counter",
+    "add",
+    "set_gauge",
+    "scoped_timer",
+    "record_duration",
+    "set_metric",
+    "to_record",
+    "gauge",
+    "histogram",
+];
+
+/// The per-file semantic model: items, emission sites, key constants,
+/// and structurally-bounded array locals.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Parsed `mod`/`fn`/`impl` items (spans may nest).
+    pub items: Vec<Item>,
+    /// Metric-emission call sites.
+    pub emits: Vec<EmitSite>,
+    /// `const NAME: &str = "…";` declarations.
+    pub key_consts: Vec<KeyConst>,
+    /// Names of locals bound to fixed-size arrays (`let x = [0; N]` or
+    /// `let x: [T; N] = …`): indexing them is bounded by a compile-time
+    /// length, so `no-panic-hot-path` exempts it.
+    pub fixed_arrays: BTreeSet<String>,
+}
+
+impl FileModel {
+    /// Builds the model for one lexed file.
+    pub fn build(file: &SourceFile) -> Self {
+        let toks = &file.toks;
+        let mut model = FileModel::default();
+        collect_items(toks, &mut model.items);
+        collect_emits(toks, &mut model.emits);
+        collect_key_consts(toks, &mut model.key_consts);
+        collect_fixed_arrays(toks, &mut model.fixed_arrays);
+        model
+    }
+
+    /// Impl items whose *type* name is in `names`.
+    pub fn impls_of<'a>(&'a self, names: &'a [String]) -> impl Iterator<Item = &'a Item> {
+        self.items
+            .iter()
+            .filter(move |it| it.kind == ItemKind::Impl && names.contains(&it.name))
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token if
+/// unbalanced — the damaged-tail rule again).
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn collect_items(toks: &[Tok], out: &mut Vec<Item>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("mod") || t.is_ident("fn") {
+            // `mod name { … }` / `fn name(…) … { … }`; declarations
+            // ending in `;` (`mod name;`, trait method signatures) have
+            // no body span and are skipped.
+            let kind = if t.text == "mod" {
+                ItemKind::Mod
+            } else {
+                ItemKind::Fn
+            };
+            if let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                let mut j = i + 2;
+                while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct("{") {
+                    out.push(Item {
+                        kind,
+                        name: name_tok.text.clone(),
+                        trait_name: None,
+                        span: (i, match_brace(toks, j)),
+                        line: t.line,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some(item) = parse_impl_header(toks, i) {
+                out.push(item);
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses `impl [<…>] Path [for Path] [where …] { … }` at `i`.
+fn parse_impl_header(toks: &[Tok], i: usize) -> Option<Item> {
+    // Header tokens run from after `impl` to the body `{`; `for` at
+    // angle-depth 0 splits trait from type.
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut split: Option<usize> = None;
+    let open = loop {
+        let t = toks.get(j)?;
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("{") && angle <= 0 {
+            break j;
+        } else if t.is_punct(";") {
+            return None;
+        } else if t.is_ident("for") && angle <= 0 {
+            split = Some(j);
+        }
+        j += 1;
+    };
+    let last_ident = |range: &[Tok]| -> Option<String> {
+        let mut depth = 0i32;
+        let mut last = None;
+        for t in range {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if depth <= 0 && t.kind == TokKind::Ident && t.text != "where" {
+                last = Some(t.text.clone());
+            }
+        }
+        last
+    };
+    // A `where` clause ends the type path; names after it are bounds.
+    let header_end = toks[i + 1..open]
+        .iter()
+        .position(|t| t.is_ident("where"))
+        .map(|p| i + 1 + p)
+        .unwrap_or(open);
+    let (trait_name, name) = match split {
+        Some(f) if f < header_end => (
+            last_ident(&toks[i + 1..f]),
+            last_ident(&toks[f + 1..header_end])?,
+        ),
+        _ => (None, last_ident(&toks[i + 1..header_end])?),
+    };
+    Some(Item {
+        kind: ItemKind::Impl,
+        name,
+        trait_name,
+        span: (i, match_brace(toks, open)),
+        line: toks[i].line,
+    })
+}
+
+/// True for `SCREAMING_CASE` constant names (at least one uppercase
+/// letter, no lowercase).
+fn is_screaming(name: &str) -> bool {
+    name.chars().any(|c| c.is_ascii_uppercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn collect_emits(toks: &[Tok], out: &mut Vec<EmitSite>) {
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !EMIT_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks[i - 1].is_punct(".") || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let arg_at = i + 2;
+        let arg = match toks.get(arg_at) {
+            Some(a) if a.kind == TokKind::Str => Some(EmitArg::Literal(a.text.clone())),
+            Some(a) if a.kind == TokKind::Ident => {
+                // Walk a plain `path::to::CONST` and take its last
+                // segment; anything else (variables, `format!`, field
+                // accesses) is a dynamic key the model cannot see.
+                let mut j = arg_at;
+                while toks.get(j + 1).is_some_and(|p| p.is_punct("::"))
+                    && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                {
+                    j += 2;
+                }
+                let terminated = toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct(",") || n.is_punct(")"));
+                let last = &toks[j].text;
+                (terminated && is_screaming(last)).then(|| EmitArg::ConstRef(last.clone()))
+            }
+            _ => None,
+        };
+        if let Some(arg) = arg {
+            out.push(EmitSite {
+                method: t.text.clone(),
+                arg,
+                line: t.line,
+                tok_index: i,
+            });
+        }
+    }
+}
+
+fn collect_key_consts(toks: &[Tok], out: &mut Vec<KeyConst>) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|c| c.is_punct(":")) {
+            continue;
+        }
+        // `: &str` / `: &'static str`, then `= "…" ;`.
+        let mut j = i + 3;
+        let limit = (i + 8).min(toks.len());
+        while j < limit && !toks[j].is_punct("=") {
+            j += 1;
+        }
+        let is_str = toks[i + 3..j].iter().any(|t| t.is_ident("str"));
+        if !is_str {
+            continue;
+        }
+        if let Some(v) = toks.get(j + 1).filter(|v| v.kind == TokKind::Str) {
+            if toks.get(j + 2).is_some_and(|s| s.is_punct(";")) {
+                out.push(KeyConst {
+                    name: name.text.clone(),
+                    value: v.text.clone(),
+                    line: name.line,
+                });
+            }
+        }
+    }
+}
+
+fn collect_fixed_arrays(toks: &[Tok], out: &mut BTreeSet<String>) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // `let name: [T; N]` or `let name = [init; N]` / `[a, b, c]` —
+        // either way the bound is a compile-time length.
+        let fixed = match toks.get(j + 1) {
+            Some(p) if p.is_punct(":") => toks.get(j + 2).is_some_and(|b| b.is_punct("[")),
+            Some(p) if p.is_punct("=") => toks.get(j + 2).is_some_and(|b| b.is_punct("[")),
+            _ => false,
+        };
+        if fixed {
+            out.insert(name.text.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(&SourceFile::new("crates/x/src/a.rs", src))
+    }
+
+    #[test]
+    fn items_resolve_mods_fns_and_impls() {
+        let src = r#"
+            mod inner {
+                fn helper() { body(); }
+            }
+            impl<'a, S: Scheduler> ProtocolCore<'a, S> {
+                fn open_session(&mut self) {}
+            }
+            impl Scheduler for NetScheduler<'_> {
+                fn now(&self) -> f64 { 0.0 }
+            }
+        "#;
+        let m = model(src);
+        let names: Vec<(ItemKind, &str, Option<&str>)> = m
+            .items
+            .iter()
+            .map(|i| (i.kind, i.name.as_str(), i.trait_name.as_deref()))
+            .collect();
+        assert!(names.contains(&(ItemKind::Mod, "inner", None)));
+        assert!(names.contains(&(ItemKind::Fn, "helper", None)));
+        assert!(names.contains(&(ItemKind::Fn, "open_session", None)));
+        assert!(names.contains(&(ItemKind::Impl, "ProtocolCore", None)));
+        assert!(names.contains(&(ItemKind::Impl, "NetScheduler", Some("Scheduler"))));
+    }
+
+    #[test]
+    fn impl_spans_cover_their_bodies() {
+        let src = "impl Core { fn f(&self) { tick(); } }\nfn outside() { tock(); }";
+        let m = model(src);
+        let imp = m
+            .items
+            .iter()
+            .find(|i| i.kind == ItemKind::Impl)
+            .expect("impl parsed");
+        let file = SourceFile::new("crates/x/src/a.rs", src);
+        let inside: Vec<&str> = file.toks[imp.span.0..=imp.span.1]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(inside.contains(&"tick"));
+        assert!(!inside.contains(&"tock"));
+    }
+
+    #[test]
+    fn emit_sites_capture_literals_and_const_refs() {
+        let src = r#"
+            fn publish(r: &Registry) {
+                r.add("mc.states_explored", 1);
+                r.set_gauge(quorum_obs::keys::MC_MAX_DEPTH, 3.0);
+                r.counter(keys::CACHE_HITS);
+                r.set_metric(&format!("load.{name}"), 0.5);
+                r.scoped_timer(phase);
+            }
+        "#;
+        let m = model(src);
+        let got: Vec<(&str, &EmitArg)> = m
+            .emits
+            .iter()
+            .map(|e| (e.method.as_str(), &e.arg))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("add", &EmitArg::Literal("mc.states_explored".into())),
+                ("set_gauge", &EmitArg::ConstRef("MC_MAX_DEPTH".into())),
+                ("counter", &EmitArg::ConstRef("CACHE_HITS".into())),
+            ],
+            "dynamic keys (format!, variables) are invisible by design"
+        );
+    }
+
+    #[test]
+    fn key_consts_parse_name_value_and_line() {
+        let src = "pub const DES_EVENTS: &str = \"des.events_processed\";\npub const OTHER: &'static str = \"x.y\";\npub const NOT_A_KEY: u64 = 3;";
+        let m = model(src);
+        let got: Vec<(&str, &str, u32)> = m
+            .key_consts
+            .iter()
+            .map(|k| (k.name.as_str(), k.value.as_str(), k.line))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("DES_EVENTS", "des.events_processed", 1),
+                ("OTHER", "x.y", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn fixed_array_locals_are_recognized() {
+        let src = r#"
+            fn stripe() {
+                let mut seed = [0u64; STRIPE];
+                let live: [usize; 64] = [0; 64];
+                let trio = [a, b, c];
+                let heap = Vec::new();
+                let slice = &seed[..];
+            }
+        "#;
+        let m = model(src);
+        assert!(m.fixed_arrays.contains("seed"));
+        assert!(m.fixed_arrays.contains("live"));
+        assert!(m.fixed_arrays.contains("trio"));
+        assert!(!m.fixed_arrays.contains("heap"));
+        assert!(!m.fixed_arrays.contains("slice"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Report rendering: the default `file:line: rule: message` text, plus
+//! machine formats for CI (`--format json`, `--format sarif`).
+//!
+//! The JSON is hand-rolled — the lint crate is dependency-free by
+//! design (the build environment is offline), and both formats here are
+//! flat enough that a serializer would be more code than this. SARIF
+//! output targets the 2.1.0 schema subset code-scanning UIs ingest:
+//! one run, one rule descriptor per [`crate::rules::RULE_IDS`] entry,
+//! one result per finding with a physical location.
+
+use crate::engine::Outcome;
+use crate::model::json_str;
+use crate::rules::RULE_IDS;
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable `file:line: rule: message` lines (default).
+    Text,
+    /// A flat JSON object with findings, stale anchors, and counts.
+    Json,
+    /// SARIF 2.1.0 for code-scanning upload.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "sarif" => Ok(Format::Sarif),
+            other => Err(format!(
+                "unknown format `{other}` (expected text, json, or sarif)"
+            )),
+        }
+    }
+}
+
+/// Renders `outcome` in `format`. Text output matches what [`render_text`]
+/// prints; the machine formats embed the same findings plus the stale
+/// allowlist entries, so a SARIF consumer sees anchor drift too.
+pub fn render(outcome: &Outcome, format: Format) -> String {
+    match format {
+        Format::Text => render_text(outcome),
+        Format::Json => render_json(outcome),
+        Format::Sarif => render_sarif(outcome),
+    }
+}
+
+/// The default human-readable report.
+pub fn render_text(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    for f in &outcome.findings {
+        s.push_str(&format!("{f}\n"));
+    }
+    for a in &outcome.stale {
+        s.push_str(&format!("stale allowlist entry: {a}\n"));
+    }
+    s.push_str(&format!(
+        "{} files checked, {} findings, {} suppressed, {} stale allowlist entries\n",
+        outcome.files,
+        outcome.findings.len(),
+        outcome.suppressed,
+        outcome.stale.len()
+    ));
+    s
+}
+
+/// Flat JSON: `{"files", "suppressed", "findings": […], "stale": […]}`.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files\": {},\n", outcome.files));
+    s.push_str(&format!("  \"suppressed\": {},\n", outcome.suppressed));
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            comma(i, outcome.findings.len())
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"stale\": [\n");
+    for (i, a) in outcome.stale.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+            json_str(&a.rule),
+            json_str(&a.file),
+            a.line,
+            json_str(&a.reason),
+            comma(i, outcome.stale.len())
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// SARIF 2.1.0. Findings map to `level: error` results; stale allowlist
+/// entries map to `level: warning` results under the synthetic rule id
+/// `stale-allowlist-anchor` so they surface in the same UI.
+pub fn render_sarif(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"quorum-lint\",\n");
+    s.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    s.push_str("          \"rules\": [\n");
+    let mut rules: Vec<&str> = RULE_IDS.to_vec();
+    rules.push("stale-allowlist-anchor");
+    for (i, r) in rules.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": {}}}{}\n",
+            json_str(r),
+            comma(i, rules.len())
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let total = outcome.findings.len() + outcome.stale.len();
+    let mut n = 0usize;
+    for f in &outcome.findings {
+        s.push_str(&sarif_result(
+            f.rule,
+            "error",
+            &f.message,
+            &f.file,
+            f.line,
+            comma(n, total),
+        ));
+        n += 1;
+    }
+    for a in &outcome.stale {
+        let message = format!(
+            "allowlist entry for {} no longer suppresses a finding (reason was: {})",
+            a.rule, a.reason
+        );
+        s.push_str(&sarif_result(
+            "stale-allowlist-anchor",
+            "warning",
+            &message,
+            &a.file,
+            a.line,
+            comma(n, total),
+        ));
+        n += 1;
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+fn sarif_result(
+    rule: &str,
+    level: &str,
+    message: &str,
+    file: &str,
+    line: u32,
+    trailing: &'static str,
+) -> String {
+    format!(
+        "        {{\"ruleId\": {rule}, \"level\": {level}, \
+         \"message\": {{\"text\": {msg}}}, \"locations\": [{{\"physicalLocation\": \
+         {{\"artifactLocation\": {{\"uri\": {uri}}}, \"region\": \
+         {{\"startLine\": {line}}}}}}}]}}{trailing}\n",
+        rule = json_str(rule),
+        level = json_str(level),
+        msg = json_str(message),
+        uri = json_str(file),
+        line = line,
+        trailing = trailing,
+    )
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowEntry;
+    use crate::rules::Finding;
+
+    fn outcome() -> Outcome {
+        Outcome {
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                rule: "no-wall-clock",
+                message: "`Instant::now` reads the \"wall\" clock".into(),
+            }],
+            stale: vec![AllowEntry {
+                rule: "no-float-eq".into(),
+                file: "crates/y/src/b.rs".into(),
+                line: 9,
+                reason: "drifted".into(),
+            }],
+            suppressed: 2,
+            files: 5,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_stale_and_counts() {
+        let s = render(&outcome(), Format::Text);
+        assert!(s.contains("crates/x/src/a.rs:3: no-wall-clock:"));
+        assert!(s.contains("stale allowlist entry: crates/y/src/b.rs:9"));
+        assert!(s.contains("5 files checked, 1 findings, 2 suppressed, 1 stale"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_carries_stale() {
+        let s = render(&outcome(), Format::Json);
+        assert!(s.contains(r#""rule": "no-wall-clock""#));
+        assert!(s.contains(r#"the \"wall\" clock"#));
+        assert!(s.contains(r#""stale""#));
+        assert!(s.contains(r#""reason": "drifted""#));
+    }
+
+    #[test]
+    fn sarif_report_declares_all_rules_and_locates_results() {
+        let s = render(&outcome(), Format::Sarif);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for r in RULE_IDS {
+            assert!(s.contains(&format!("{{\"id\": \"{r}\"}}")), "{r}");
+        }
+        assert!(s.contains(r#""ruleId": "no-wall-clock", "level": "error""#));
+        assert!(s.contains(r#""ruleId": "stale-allowlist-anchor", "level": "warning""#));
+        assert!(s.contains(r#""startLine": 3"#));
+        assert!(s.contains(r#""uri": "crates/y/src/b.rs""#));
+    }
+
+    #[test]
+    fn format_parse_accepts_known_names_only() {
+        assert_eq!(Format::parse("sarif"), Ok(Format::Sarif));
+        assert_eq!(Format::parse("json"), Ok(Format::Json));
+        assert_eq!(Format::parse("text"), Ok(Format::Text));
+        assert!(Format::parse("xml").is_err());
+    }
+}

@@ -1,24 +1,34 @@
-//! The rule catalog: six determinism/safety properties every reported
-//! number in this reproduction rests on (DESIGN.md §9).
+//! The rule catalog: the determinism/safety properties every reported
+//! number in this reproduction rests on (DESIGN.md §9, §13).
 //!
-//! Each rule is a token-sequence property checked per file. Rules are
-//! scoped by path prefix (`paths` in `lint.toml`) and by test-ness
+//! Most rules are token-sequence properties checked per file, scoped by
+//! path prefix (`paths` in `lint.toml`) and by test-ness
 //! (`include_tests`); `forbid-unsafe` is additionally scoped to crate
-//! roots via `roots` globs.
+//! roots via `roots` globs. The semantic rules added with the workspace
+//! model ([`crate::parser`], [`crate::model`]) also consume the per-file
+//! [`crate::parser::FileModel`]: `scheduler-discipline` needs impl-block
+//! spans, `no-panic-hot-path` needs fixed-size-array locals, and
+//! `obs-key-registry` runs as a workspace pass in the engine rather
+//! than here.
 
 use crate::config::{glob_match, Config, RuleConfig};
 use crate::lexer::{lex, test_mask, Tok, TokKind};
+use crate::parser::FileModel;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 10] = [
     "no-wall-clock",
     "no-unseeded-rng",
     "no-unordered-iteration",
     "forbid-unsafe",
     "no-float-eq",
     "no-stdrng",
+    "obs-key-registry",
+    "scheduler-discipline",
+    "no-panic-hot-path",
+    "no-lossy-cast",
 ];
 
 /// One reported violation.
@@ -48,8 +58,8 @@ impl fmt::Display for Finding {
 pub struct SourceFile {
     /// Workspace-relative path with forward slashes.
     pub path: String,
-    toks: Vec<Tok>,
-    tests: Vec<bool>,
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) tests: Vec<bool>,
 }
 
 impl SourceFile {
@@ -73,15 +83,20 @@ impl SourceFile {
     }
 }
 
-/// Runs every rule over one file under `config`, appending findings.
-pub fn check_file(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-    let checks: [(&'static str, RuleFn); 6] = [
+/// Runs every per-file rule over one file under `config`, appending
+/// findings. (`obs-key-registry` is cross-file and runs as a workspace
+/// pass in the engine instead.)
+pub fn check_file(file: &SourceFile, model: &FileModel, config: &Config, out: &mut Vec<Finding>) {
+    let checks: [(&'static str, RuleFn); 9] = [
         ("no-wall-clock", no_wall_clock),
         ("no-unseeded-rng", no_unseeded_rng),
         ("no-unordered-iteration", no_unordered_iteration),
         ("forbid-unsafe", forbid_unsafe),
         ("no-float-eq", no_float_eq),
         ("no-stdrng", no_stdrng),
+        ("scheduler-discipline", scheduler_discipline),
+        ("no-panic-hot-path", no_panic_hot_path),
+        ("no-lossy-cast", no_lossy_cast),
     ];
     for (rule, f) in checks {
         let rc = config.rule(rule);
@@ -89,12 +104,21 @@ pub fn check_file(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
             // Root-scoped, not prefix-scoped: applies iff the file
             // matches one of the crate-root globs.
             if rc.roots.iter().any(|g| glob_match(g, &file.path)) {
-                f(file, &rc, rule, out);
+                f(file, model, &rc, rule, out);
             }
             continue;
         }
+        // The hot-path rules are opt-in: they only make sense on the
+        // modules lint.toml designates, so an unconfigured rule is off
+        // rather than flooding the whole tree.
+        if (rule == "no-panic-hot-path" || rule == "no-lossy-cast") && rc.paths.is_empty() {
+            continue;
+        }
+        if rule == "scheduler-discipline" && rc.impls.is_empty() {
+            continue;
+        }
         if file.in_scope(&rc) {
-            f(file, &rc, rule, out);
+            f(file, model, &rc, rule, out);
         }
     }
     // Deterministic report order and structural dedup (a `for` loop over
@@ -103,7 +127,7 @@ pub fn check_file(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
     out.dedup();
 }
 
-type RuleFn = fn(&SourceFile, &RuleConfig, &'static str, &mut Vec<Finding>);
+type RuleFn = fn(&SourceFile, &FileModel, &RuleConfig, &'static str, &mut Vec<Finding>);
 
 /// Visible (non-test unless `include_tests`) token at index `i`?
 fn visible(file: &SourceFile, rc: &RuleConfig, i: usize) -> bool {
@@ -133,7 +157,13 @@ fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
 /// Reading the wall clock inside simulation, stats, or manifest code
 /// makes outputs depend on host speed; measured quantities (utilization
 /// accounting, bench drivers) carry `file:line` allowlist entries.
-fn no_wall_clock(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+fn no_wall_clock(
+    file: &SourceFile,
+    _model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
     let toks = &file.toks;
     for i in 0..toks.len() {
         if !visible(file, rc, i) {
@@ -162,7 +192,13 @@ fn no_wall_clock(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &m
 
 /// `no-unseeded-rng`: `thread_rng`, `from_entropy`, `from_os_rng`, and
 /// `rand::random` — all randomness must derive from the run seed.
-fn no_unseeded_rng(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+fn no_unseeded_rng(
+    file: &SourceFile,
+    _model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
     let toks = &file.toks;
     for i in 0..toks.len() {
         if !visible(file, rc, i) {
@@ -223,6 +259,7 @@ const ORDER_SENSITIVE_METHODS: [&str; 9] = [
 /// calls and `for … in` loops over them.
 fn no_unordered_iteration(
     file: &SourceFile,
+    _model: &FileModel,
     rc: &RuleConfig,
     rule: &'static str,
     out: &mut Vec<Finding>,
@@ -396,7 +433,13 @@ fn unordered_decls(toks: &[Tok]) -> Vec<UnorderedDecl<'_>> {
 /// `forbid-unsafe`: every crate root (lib, bin, example, test target)
 /// must carry `#![forbid(unsafe_code)]` so the guarantee is per-crate
 /// airtight instead of a convention.
-fn forbid_unsafe(file: &SourceFile, _rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+fn forbid_unsafe(
+    file: &SourceFile,
+    _model: &FileModel,
+    _rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
     let toks = &file.toks;
     let found = (0..toks.len()).any(|i| {
         seq(
@@ -423,7 +466,13 @@ fn forbid_unsafe(file: &SourceFile, _rc: &RuleConfig, rule: &'static str, out: &
 /// epsilon (or restructure to integers). Detection: a float literal (or
 /// an identifier annotated `: f64`/`: f32` in this file) directly on
 /// either side of `==`/`!=`, allowing a unary minus.
-fn no_float_eq(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+fn no_float_eq(
+    file: &SourceFile,
+    _model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
     let toks = &file.toks;
     let float_names = float_annotated_names(toks);
     let is_floaty = |t: &Tok| {
@@ -471,7 +520,13 @@ fn no_float_eq(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut
 /// SoA kernel and the naive heap engine bit-identical. Once-per-run
 /// setup code (the failure-timeline replay) carries `file:line`
 /// allowlist entries instead of weakening the rule.
-fn no_stdrng(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut Vec<Finding>) {
+fn no_stdrng(
+    file: &SourceFile,
+    _model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
     for (i, t) in file.toks.iter().enumerate() {
         if !visible(file, rc, i) {
             continue;
@@ -487,6 +542,217 @@ fn no_stdrng(file: &SourceFile, rc: &RuleConfig, rule: &'static str, out: &mut V
                      quorum_stats::rng::CounterRng so batched and one-at-a-time walks \
                      stay bit-identical",
                     t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `scheduler-discipline`: inside impl blocks of the configured types
+/// (`impls` in `lint.toml`, e.g. `ProtocolCore`), forbid direct touches
+/// of the event queue or wall/host time — everything temporal must go
+/// through the `Scheduler` trait.
+///
+/// The point is model-checking coverage: `quorum-mc`'s `BagScheduler`
+/// replays the protocol by implementing `Scheduler`. Any effect the
+/// stochastic engine produces through a side channel (an `EventQueue`
+/// handle, `Instant`, a raw timer) is an effect the checker silently
+/// never explores, which is exactly how the PR 8 cross-epoch bug hid.
+/// Forbidden identifiers default to `EventQueue`/`Instant`/`SystemTime`
+/// and are configurable via `forbid`.
+fn scheduler_discipline(
+    file: &SourceFile,
+    model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    const DEFAULT_FORBID: [&str; 3] = ["EventQueue", "Instant", "SystemTime"];
+    let forbid: Vec<&str> = if rc.forbid.is_empty() {
+        DEFAULT_FORBID.to_vec()
+    } else {
+        rc.forbid.iter().map(String::as_str).collect()
+    };
+    for imp in model.impls_of(&rc.impls) {
+        for i in imp.span.0..=imp.span.1.min(file.toks.len() - 1) {
+            if !visible(file, rc, i) {
+                continue;
+            }
+            let t = &file.toks[i];
+            if t.kind == TokKind::Ident && forbid.iter().any(|f| t.text == *f) {
+                push(
+                    out,
+                    file,
+                    rule,
+                    t.line,
+                    format!(
+                        "`{}` touched directly inside `impl {}`; route every temporal \
+                         effect through the `Scheduler` trait so quorum-mc's BagScheduler \
+                         sees it",
+                        t.text, imp.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Macros whose expansion can panic at runtime. `debug_assert*` is
+/// excluded: it compiles out of release builds, which is what the hot
+/// path ships.
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// `no-panic-hot-path`: in designated hot modules, forbid
+/// `.unwrap()`/`.expect()` and the panic-macro family; in the subset of
+/// modules listed under `index_paths`, also forbid slice/`Vec` indexing
+/// (`xs[i]`) unless the indexed binding is a fixed-size array local
+/// (structurally bounded, from the [`FileModel`]).
+///
+/// A single bad index in the stripe kernel kills a 28 M accesses/sec
+/// run half-way through; panics must either be impossible by
+/// construction (fixed arrays, iterators, `get`) or carry a
+/// `file:line` allowlist entry stating the bounding invariant.
+fn no_panic_hot_path(
+    file: &SourceFile,
+    model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let index_scoped = rc
+        .index_paths
+        .iter()
+        .any(|p| file.path == *p || file.path.starts_with(&format!("{p}/")));
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(`.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`.{}()` can panic on the hot path; handle the case, make it \
+                     impossible by construction, or allowlist with the invariant that \
+                     rules it out",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // `panic!(`, `assert_eq!(`, ...
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(
+                out,
+                file,
+                rule,
+                t.line,
+                format!(
+                    "`{}!` aborts the run on the hot path; return an error or allowlist \
+                     cold-path uses (constructors, validation) with a written invariant",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // Indexing: a `[` whose previous token ends an expression
+        // (identifier, `]`, or `)`). Type positions (`: [T; N]`),
+        // array literals (`= [`), attributes (`#[`), and macro brackets
+        // (`vec![`) all have non-expression predecessors and never
+        // match. Only enforced under `index_paths`.
+        if index_scoped && t.is_punct("[") && i >= 1 {
+            let prev = &toks[i - 1];
+            let ends_expr = prev.kind == TokKind::Ident || prev.is_punct("]") || prev.is_punct(")");
+            // Keywords sit in Ident tokens; `match x { .. }` etc. never
+            // precede an index expression, but `in`, `return`, `if` can
+            // precede array literals (`for x in [a, b]`).
+            let keyword = matches!(
+                prev.text.as_str(),
+                "in" | "return" | "if" | "else" | "match" | "while" | "break"
+            );
+            if ends_expr && !keyword {
+                let bounded =
+                    prev.kind == TokKind::Ident && model.fixed_arrays.contains(prev.text.as_str());
+                if !bounded {
+                    let what = if prev.kind == TokKind::Ident {
+                        format!("`{}[…]`", prev.text)
+                    } else {
+                        "indexing".to_string()
+                    };
+                    push(
+                        out,
+                        file,
+                        rule,
+                        t.line,
+                        format!(
+                            "{what} can panic out-of-bounds on the hot path; use `get`, \
+                             iterators, a fixed-size array local, or allowlist with the \
+                             bounding invariant"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Integer types an `as` cast can silently truncate into.
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `no-lossy-cast`: `expr as u32` (or any ≤32-bit integer target) in
+/// hot modules.
+///
+/// `as` silently wraps: a `usize` object id cast to `u32` corrupts the
+/// assignment table at 2^32 objects with no diagnostic. Hot modules
+/// must either widen the stored type, use `try_into` with a handled
+/// error, or carry an allowlist entry arguing the bound (e.g. "site
+/// count ≤ 64 by construction").
+fn no_lossy_cast(
+    file: &SourceFile,
+    _model: &FileModel,
+    rc: &RuleConfig,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !visible(file, rc, i) {
+            continue;
+        }
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1) else { continue };
+        if ty.kind == TokKind::Ident && NARROW_TYPES.contains(&ty.text.as_str()) {
+            push(
+                out,
+                file,
+                rule,
+                toks[i].line,
+                format!(
+                    "`as {}` silently truncates; widen the type, use `try_into`, or \
+                     allowlist with the argument for why the value fits",
+                    ty.text
                 ),
             );
         }
@@ -513,8 +779,9 @@ mod tests {
 
     fn run_rule(path: &str, src: &str, config: &Config) -> Vec<Finding> {
         let file = SourceFile::new(path, src);
+        let model = FileModel::build(&file);
         let mut out = Vec::new();
-        check_file(&file, config, &mut out);
+        check_file(&file, &model, config, &mut out);
         out
     }
 
@@ -702,6 +969,111 @@ roots = ["crates/*/src/lib.rs"]
         // Outside the scoped paths the same source is clean.
         let f = run_rule("crates/replica/src/a.rs", src, &cfg);
         assert!(f.iter().all(|f| f.rule != "no-stdrng"));
+    }
+
+    #[test]
+    fn scheduler_discipline_polices_only_configured_impls() {
+        let mut cfg = default_config();
+        let rc = cfg.rules.entry("scheduler-discipline".into()).or_default();
+        rc.impls = vec!["ProtocolCore".into()];
+        rc.paths = vec!["crates/cluster".into()];
+        let src = r#"
+            impl<'a, S: Scheduler> ProtocolCore<'a, S> {
+                fn bad(&mut self, q: &mut EventQueue) {
+                    let t = Instant::now();
+                    q.push(t);
+                }
+                fn good(&mut self) { let t = self.sched.now(); }
+            }
+            impl Harness {
+                fn driver(q: &mut EventQueue) { q.push(0); }
+            }
+        "#;
+        let f = run_rule("crates/cluster/src/protocol.rs", src, &cfg);
+        let hits: Vec<(u32, &str)> = f
+            .iter()
+            .filter(|f| f.rule == "scheduler-discipline")
+            .map(|f| (f.line, f.message.as_str()))
+            .collect();
+        // EventQueue line 3, Instant line 4 (Instant::now also trips
+        // no-wall-clock, which is fine and separate); the Harness impl
+        // is out of scope.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].0, 3);
+        assert_eq!(hits[1].0, 4);
+        assert!(hits[0].1.contains("ProtocolCore"));
+        // Out of the configured paths the same source is clean.
+        let f = run_rule("crates/bench/src/protocol.rs", src, &cfg);
+        assert!(f.iter().all(|f| f.rule != "scheduler-discipline"));
+    }
+
+    #[test]
+    fn panic_hot_path_flags_panics_and_scoped_indexing() {
+        let mut cfg = default_config();
+        let rc = cfg.rules.entry("no-panic-hot-path".into()).or_default();
+        rc.paths = vec![
+            "crates/shard/src/engine.rs".into(),
+            "crates/graph/src/delta.rs".into(),
+        ];
+        rc.index_paths = vec!["crates/shard/src/engine.rs".into()];
+        let src = r#"
+            fn hot(xs: &[u64], i: usize) -> u64 {
+                let v = xs.first().unwrap();
+                assert!(i < xs.len());
+                let mut acc = [0u64; 64];
+                acc[i % 64] += xs[i];
+                debug_assert!(*v > 0);
+                let attr = vec![1, 2];
+                *v
+            }
+        "#;
+        let f = run_rule("crates/shard/src/engine.rs", src, &cfg);
+        let hits: Vec<(u32, &str)> = f
+            .iter()
+            .filter(|f| f.rule == "no-panic-hot-path")
+            .map(|f| (f.line, f.message.as_str()))
+            .collect();
+        // unwrap (3), assert! (4), xs[i] (6). acc[…] is a fixed-size
+        // array local, debug_assert compiles out, vec![…] is a macro.
+        assert_eq!(
+            hits.iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![3, 4, 6],
+            "{hits:?}"
+        );
+        assert!(hits[2].1.contains("xs"));
+        // delta.rs is panic-scoped but not index-scoped.
+        let f = run_rule("crates/graph/src/delta.rs", src, &cfg);
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "no-panic-hot-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3, 4]);
+        // Unscoped files are untouched even with the rule configured.
+        let f = run_rule("crates/cluster/src/runner.rs", src, &cfg);
+        assert!(f.iter().all(|f| f.rule != "no-panic-hot-path"));
+    }
+
+    #[test]
+    fn lossy_cast_flags_narrowing_only() {
+        let mut cfg = default_config();
+        cfg.rules.entry("no-lossy-cast".into()).or_default().paths = vec!["crates/shard".into()];
+        let src = r#"
+            fn pack(o: usize, w: u64) -> (u32, u64, f64) {
+                let id = o as u32;
+                let wide = o as u64;
+                let f = w as f64;
+                let b = (w & 0xff) as u8;
+                (id, wide + b as u64, f)
+            }
+        "#;
+        let f = run_rule("crates/shard/src/engine.rs", src, &cfg);
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "no-lossy-cast")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3, 6], "narrowing casts only: as u32, as u8");
     }
 
     #[test]

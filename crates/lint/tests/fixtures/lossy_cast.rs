@@ -1,0 +1,10 @@
+//! Fixture: narrowing `as` casts in hot modules (no-lossy-cast);
+//! widening and float casts pass.
+
+pub fn pack(object: usize, rate: f64) -> (u32, u64, u16, f32) {
+    let id = object as u32;
+    let wide = object as u64;
+    let class = (object / 2) as u16;
+    let ratio = rate as f32;
+    (id, wide, class, ratio)
+}

@@ -1,0 +1,10 @@
+//! Fixture: emission sites checked against the registry fixture; one
+//! good reference, three drifts, one indirect reference.
+
+pub fn publish(obs: &mut Registry, denied: u64) {
+    obs.counter(keys::WALK_GRANTED, 1);
+    obs.counter("walk.denied", denied);
+    obs.counter("walk.phantom", 1);
+    obs.set_gauge(keys::WALK_MISSING, 1.0);
+    retire(keys::WALK_GRANTED_ALIAS);
+}

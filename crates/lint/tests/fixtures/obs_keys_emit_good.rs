@@ -1,0 +1,7 @@
+//! Fixture: every emission references a declared constant; lints
+//! clean against the good registry fixture.
+
+pub fn publish(obs: &mut Registry, denied: u64) {
+    obs.counter(keys::WALK_GRANTED, 1);
+    obs.set_gauge(keys::WALK_DENIED, denied as f64);
+}

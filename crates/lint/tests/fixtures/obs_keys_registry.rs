@@ -1,0 +1,11 @@
+//! Fixture: the declared metric-key schema (obs-key-registry). Every
+//! key is a constant here; two deliberate defects below.
+
+/// Granted accesses per walk.
+pub const WALK_GRANTED: &str = "walk.granted";
+/// Denied accesses per walk.
+pub const WALK_DENIED: &str = "walk.denied";
+/// Declared but referenced nowhere: dead schema.
+pub const WALK_ORPHANED: &str = "walk.orphaned";
+/// Second constant spelling an already-declared key value.
+pub const WALK_GRANTED_ALIAS: &str = "walk.granted";

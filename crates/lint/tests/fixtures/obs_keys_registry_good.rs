@@ -1,0 +1,5 @@
+//! Fixture: a clean schema — every key declared once, every key
+//! referenced by an emitter.
+
+pub const WALK_GRANTED: &str = "walk.granted";
+pub const WALK_DENIED: &str = "walk.denied";

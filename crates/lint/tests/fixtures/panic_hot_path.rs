@@ -1,0 +1,16 @@
+//! Fixture: panic-family calls and unbounded indexing in the hot
+//! modules (no-panic-hot-path); `debug_assert!` and fixed-size array
+//! locals stay allowed.
+
+pub fn walk(xs: &[u64], i: usize) -> u64 {
+    assert_eq!(xs.len() % 4, 0);
+    let first = xs.first().unwrap();
+    let picked = xs.get(i).expect("caller checked");
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    debug_assert!(i < xs.len());
+    let mut acc = [0u64; 4];
+    acc[0] = xs[i];
+    *first + *picked + acc[0]
+}

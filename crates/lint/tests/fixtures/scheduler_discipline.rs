@@ -1,0 +1,17 @@
+//! Fixture: temporal effects inside a protocol core must flow through
+//! the `Scheduler` trait (scheduler-discipline); a raw `EventQueue`
+//! touch is an effect quorum-mc's replay never sees.
+
+impl<'a, S: Scheduler> ProtocolCore<'a, S> {
+    fn on_read(&mut self, msg: Message) {
+        self.sched.schedule(self.rtt, Event::ReadDone);
+        let mut bypass = EventQueue::new();
+        bypass.push(msg);
+    }
+}
+
+impl Harness {
+    fn drain(q: &mut EventQueue) {
+        q.clear();
+    }
+}

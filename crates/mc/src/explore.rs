@@ -214,14 +214,14 @@ impl McReport {
         registry.add(keys::MC_NOOP_SKIPS, self.noop_skips);
         registry.add(keys::MC_SYMMETRY_PERMS, self.symmetry_perms);
         registry.add(keys::MC_MAX_DEPTH, u64::from(self.max_depth_seen));
-        registry.add("mc.cross_epoch_violations", self.cross_epoch_violations);
-        registry.add("mc.stale_read_violations", self.stale_read_violations);
-        registry.add("mc.multi_write_violations", self.multi_write_violations);
+        registry.add(keys::MC_CROSS_EPOCH_VIOLATIONS, self.cross_epoch_violations);
+        registry.add(keys::MC_STALE_READ_VIOLATIONS, self.stale_read_violations);
+        registry.add(keys::MC_MULTI_WRITE_VIOLATIONS, self.multi_write_violations);
         if let Some(d) = self.first_violation_depth {
-            registry.set_gauge("mc.first_violation_depth", d as f64);
+            registry.set_gauge(keys::MC_FIRST_VIOLATION_DEPTH, d as f64);
         }
         if let Some(d) = self.first_cross_epoch_depth {
-            registry.set_gauge("mc.first_cross_epoch_depth", d as f64);
+            registry.set_gauge(keys::MC_FIRST_CROSS_EPOCH_DEPTH, d as f64);
         }
     }
 

@@ -33,116 +33,6 @@ pub use manifest::{
 };
 pub use registry::{Counter, Registry, ScopedTimer, Snapshot};
 
-/// Conventional metric names shared by the instrumented crates, so that
-/// producers (simulator, cache, estimator) and consumers (manifest
-/// writers, CI smoke checks) agree without string drift.
-pub mod keys {
-    /// DES events popped from the future-event list.
-    pub const DES_EVENTS: &str = "des.events_processed";
-    /// Site up/down transitions applied.
-    pub const DES_SITE_TRANSITIONS: &str = "des.site_transitions";
-    /// Link up/down transitions applied.
-    pub const DES_LINK_TRANSITIONS: &str = "des.link_transitions";
-    /// Accesses submitted (warm-up + measured).
-    pub const DES_ACCESSES: &str = "des.accesses";
-    /// Cancelled-timer tombstones still resident in the event list at
-    /// observation time (gauge).
-    pub const DES_QUEUE_TOMBSTONES: &str = "des.queue_tombstones";
-    /// Tombstone compaction sweeps performed by the event list.
-    pub const DES_QUEUE_COMPACTIONS: &str = "des.queue_compactions";
-    /// Objects simulated by the sharded throughput engine.
-    pub const SHARD_OBJECTS: &str = "shard.objects";
-    /// Shards the object space was partitioned into.
-    pub const SHARD_SHARDS: &str = "shard.shards";
-    /// Accesses dispatched across all objects (reads + writes).
-    pub const SHARD_ACCESSES: &str = "shard.accesses";
-    /// Connectivity epochs in the shared failure timeline.
-    pub const SHARD_EPOCHS: &str = "shard.epochs";
-    /// Assignment profiles (grant rows per epoch) in the timeline.
-    pub const SHARD_ASSIGNMENTS: &str = "shard.assignments";
-    /// Reads granted across all objects.
-    pub const SHARD_READS_GRANTED: &str = "shard.reads_granted";
-    /// Writes granted across all objects.
-    pub const SHARD_WRITES_GRANTED: &str = "shard.writes_granted";
-    /// Reads submitted across all objects.
-    pub const SHARD_READS_SUBMITTED: &str = "shard.reads_submitted";
-    /// Writes submitted across all objects.
-    pub const SHARD_WRITES_SUBMITTED: &str = "shard.writes_submitted";
-    /// Component-cache queries served without a BFS.
-    pub const CACHE_HITS: &str = "graph.component_cache.hits";
-    /// Component-cache queries that recomputed the BFS.
-    pub const CACHE_RECOMPUTATIONS: &str = "graph.component_cache.recomputations";
-    /// Topology events the incremental kernel absorbed by merging
-    /// components (recoveries; no BFS).
-    pub const DELTA_MERGES: &str = "graph.delta_merges";
-    /// Topology events absorbed by re-scanning one component (failures).
-    pub const DELTA_RESCANS: &str = "graph.delta_rescans";
-    /// Topology events filtered as provably partition-preserving.
-    pub const DELTA_NOOPS: &str = "graph.delta_noops";
-    /// Topology events absorbed by rebuilding the kernel from scratch.
-    pub const FULL_RECOMPUTES: &str = "graph.full_recomputes";
-    /// Batches executed by a runner.
-    pub const RUN_BATCHES: &str = "replica.batches";
-    /// Worker threads the runner used.
-    pub const RUN_THREADS: &str = "replica.threads";
-    /// Observations recorded into estimator histograms.
-    pub const ESTIMATOR_OBSERVATIONS: &str = "core.estimator.observations";
-    /// Objective evaluations spent by optimizer argmax sweeps.
-    pub const OPTIMIZER_EVALUATIONS: &str = "core.optimizer.evaluations";
-    /// Messages sent by cluster sites (all types, including retries).
-    pub const CLUSTER_MESSAGES_SENT: &str = "cluster.messages_sent";
-    /// Messages delivered to their destination site.
-    pub const CLUSTER_MESSAGES_DELIVERED: &str = "cluster.messages_delivered";
-    /// Messages dropped (Bernoulli loss or partitioned at delivery time).
-    pub const CLUSTER_MESSAGES_DROPPED: &str = "cluster.messages_dropped";
-    /// Quorum sessions (read or write) started, excluding retries.
-    pub const CLUSTER_SESSIONS: &str = "cluster.sessions";
-    /// Retry rounds dispatched after a session timeout.
-    pub const CLUSTER_RETRIES: &str = "cluster.retries";
-    /// Sessions resolved `Committed`.
-    pub const CLUSTER_COMMITTED: &str = "cluster.committed";
-    /// Sessions resolved `TimedOut` after exhausting retries.
-    pub const CLUSTER_TIMED_OUT: &str = "cluster.timed_out";
-    /// Sessions resolved `Unavailable` (coordinator down at dispatch).
-    pub const CLUSTER_UNAVAILABLE: &str = "cluster.unavailable";
-    /// Session timers voided before firing (session resolved first).
-    pub const CLUSTER_TIMERS_CANCELLED: &str = "cluster.timers_cancelled";
-    /// Measured read sessions submitted (excludes warm-up).
-    pub const CLUSTER_READS_SUBMITTED: &str = "cluster.reads_submitted";
-    /// Measured write sessions submitted (excludes warm-up).
-    pub const CLUSTER_WRITES_SUBMITTED: &str = "cluster.writes_submitted";
-    /// Quorum systems evaluated by the algebra comparison harness.
-    pub const ALGEBRA_SYSTEMS_EVALUATED: &str = "algebra.systems_evaluated";
-    /// Intersection certifications performed (one per evaluated system).
-    pub const ALGEBRA_INTERSECTION_CHECKS: &str = "algebra.intersection_checks";
-    /// Certifications that found a violated intersection (must stay 0
-    /// for every *reported* system — the CI smoke gate asserts it).
-    pub const ALGEBRA_INTERSECTION_FAILURES: &str = "algebra.intersection_failures";
-    /// Minimal quorums enumerated across all evaluated systems.
-    pub const ALGEBRA_QUORUMS_ENUMERATED: &str = "algebra.quorums_enumerated";
-    /// Multiplicative-weights iterations spent optimizing strategies.
-    pub const ALGEBRA_STRATEGY_ITERATIONS: &str = "algebra.strategy_iterations";
-    /// Retry rounds that adopted a different assignment epoch and reset
-    /// their accumulated pledges (cross-epoch-mixing fix).
-    pub const CLUSTER_CROSS_EPOCH_RESETS: &str = "cluster.cross_epoch_resets";
-    /// Phase-1 pledges ignored for carrying a mismatched epoch tag.
-    pub const CLUSTER_STALE_GRANTS_IGNORED: &str = "cluster.stale_grants_ignored";
-    /// Canonical states the model checker explored.
-    pub const MC_STATES_EXPLORED: &str = "mc.states_explored";
-    /// Transitions (choice executions) the model checker took.
-    pub const MC_TRANSITIONS: &str = "mc.transitions";
-    /// Invariant violations found across the exploration.
-    pub const MC_VIOLATIONS: &str = "mc.violations";
-    /// Frontier states cut off by the depth bound (0 = exhaustive).
-    pub const MC_TRUNCATED: &str = "mc.truncated";
-    /// Explorations aborted by the state-count cap (0 = exhaustive).
-    pub const MC_CAPPED: &str = "mc.capped";
-    /// Enabled transitions skipped by partial-order reduction.
-    pub const MC_POR_SKIPS: &str = "mc.por_skips";
-    /// Deliveries pruned as provable no-ops (equivalent to drops).
-    pub const MC_NOOP_SKIPS: &str = "mc.noop_skips";
-    /// Site permutations in the symmetry group used for canonicalization.
-    pub const MC_SYMMETRY_PERMS: &str = "mc.symmetry_perms";
-    /// Deepest BFS layer reached during exploration.
-    pub const MC_MAX_DEPTH: &str = "mc.max_depth";
-}
+/// Conventional metric names shared by the instrumented crates — see
+/// the module docs; `quorum-lint` enforces the registry contract.
+pub mod keys;

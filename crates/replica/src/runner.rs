@@ -78,7 +78,7 @@ pub fn run_static_observed(
         workload,
         cfg,
         registry,
-        "replica.run_static",
+        keys::REPLICA_RUN_STATIC,
         move || QuorumConsensus::new(proto_votes.clone(), spec),
     )
 }
@@ -135,7 +135,7 @@ where
             read_acc.push_batch(stats.read_availability());
             write_acc.push_batch(stats.write_availability());
             combined.merge(&stats);
-            registry.record_duration("replica.batch", elapsed);
+            registry.record_duration(keys::REPLICA_BATCH, elapsed);
         },
     );
 
@@ -143,7 +143,7 @@ where
     registry.set_gauge(keys::RUN_THREADS, cfg.threads.max(1) as f64);
     // Busy batch-seconds over per-round available thread-seconds: 1.0
     // means the convergence loop kept every usable worker saturated.
-    registry.set_gauge("replica.thread_utilization", conv.utilization());
+    registry.set_gauge(keys::REPLICA_THREAD_UTILIZATION, conv.utilization());
     combined.observe_into(registry);
 
     RunResults {
@@ -241,9 +241,9 @@ mod tests {
         );
         assert_eq!(snap.counter(keys::RUN_BATCHES), res.batches);
         // One timer activation per batch, plus the whole-run phase timer.
-        assert_eq!(snap.timers["replica.batch"].1, res.batches);
-        assert_eq!(snap.timers["replica.run_static"].1, 1);
-        assert!(snap.timer_secs("replica.run_static") > 0.0);
+        assert_eq!(snap.timers[keys::REPLICA_BATCH].1, res.batches);
+        assert_eq!(snap.timers[keys::REPLICA_RUN_STATIC].1, 1);
+        assert!(snap.timer_secs(keys::REPLICA_RUN_STATIC) > 0.0);
         // The convergence trace ends at the final batch count.
         assert_eq!(res.ci_trace.last().unwrap().batches, res.batches);
         assert!(res
@@ -252,7 +252,7 @@ mod tests {
             .all(|p| p.half_width >= 0.0 && p.batches >= 2));
         // Per-round thread-seconds accounting keeps utilization a true
         // fraction; ε absorbs clock-read noise only.
-        let util = snap.gauges["replica.thread_utilization"];
+        let util = snap.gauges[keys::REPLICA_THREAD_UTILIZATION];
         assert!(util > 0.0 && util <= 1.0 + 0.005, "utilization {util}");
         assert!((snap.gauges[keys::RUN_THREADS] - 2.0).abs() < 1e-12);
     }

@@ -130,13 +130,16 @@ fn shard_manifest(seed: u64, shards: u64, threads: usize) -> String {
     let registry = Registry::new();
     stats.observe_into(&registry);
     timeline.observe_into(&registry);
-    registry.set_gauge("shard.threads", threads as f64);
-    registry.set_gauge("shard.thread_utilization", conv.utilization());
+    registry.set_gauge(quorum_obs::keys::SHARD_THREADS, threads as f64);
+    registry.set_gauge(
+        quorum_obs::keys::SHARD_THREAD_UTILIZATION,
+        conv.utilization(),
+    );
     let mut m = RunManifest::new("manifest_stability_shard", seed);
     m.params = sim_params_record(&params);
     m.topology = topology_record("ring-13+3", 3, &topo);
     m.batches = stats.objects; // partition-invariant stand-in (conv.batches == shards)
-    m.set_metric("availability", stats.availability());
+    m.set_metric(quorum_obs::keys::AVAILABILITY, stats.availability());
     m.absorb_snapshot(&registry.snapshot());
     strip_wall_clock(&mut m);
     m.to_json().to_string_pretty()
@@ -176,7 +179,7 @@ fn algebra_manifest(seed: u64, threads: usize) -> String {
     m.votes = votes.as_slice().to_vec();
     m.set_metric(&format!("load.{}", sys.name()), profile.load);
     m.set_metric(&format!("load-lower.{}", sys.name()), profile.lower_bound);
-    m.set_metric("availability", res.availability());
+    m.set_metric(quorum_obs::keys::AVAILABILITY, res.availability());
     m.absorb_snapshot(&registry.snapshot());
     strip_wall_clock(&mut m);
     m.to_json().to_string_pretty()
